@@ -1,0 +1,384 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark per table and figure of the paper (see DESIGN.md §5 for the
+// experiment index), plus ablation benches for the design choices called
+// out in DESIGN.md §6.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Accuracy benches report the paper's metric as the custom unit
+// "err_rate/op" (mean |err(ℓ)| of Eq. 6); timing benches report the usual
+// ns/op. Fixtures run at reduced dataset scale (same code paths, smaller
+// graphs — DESIGN.md §4); the cmd/experiments binary with -full reproduces
+// the published parameters.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/histogram"
+	"repro/internal/ordering"
+	"repro/internal/paths"
+)
+
+// fixture caches a generated graph and its census per (dataset, k, scale).
+type fixture struct {
+	g      *graph.CSR
+	census *paths.Census
+}
+
+var (
+	fixMu  sync.Mutex
+	fixMap = map[string]*fixture{}
+)
+
+func getFixture(b *testing.B, specIdx, k int, scale float64) *fixture {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d/%v", specIdx, k, scale)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := fixMap[key]; ok {
+		return f
+	}
+	g := dataset.Generate(dataset.Table3()[specIdx], scale, 1).Freeze()
+	f := &fixture{g: g, census: paths.NewCensus(g, k)}
+	fixMap[key] = f
+	return f
+}
+
+// BenchmarkTable2Orderings pins the §3.4 worked example (Tables 1 and 2):
+// it measures rank+unrank round trips over the 12-path example domain for
+// each ordering method and verifies the Table 2 layout on every run.
+func BenchmarkTable2Orderings(b *testing.B) {
+	names := []string{"1", "2", "3"}
+	freq := []int64{20, 100, 80}
+	alph := ordering.AlphabeticalRanking(names)
+	card := ordering.CardinalityRanking(freq)
+	ords := map[string]ordering.Ordering{
+		ordering.MethodNumAlph:  ordering.NewNumerical(alph, 2),
+		ordering.MethodNumCard:  ordering.NewNumerical(card, 2),
+		ordering.MethodLexAlph:  ordering.NewLexicographic(alph, 2),
+		ordering.MethodLexCard:  ordering.NewLexicographic(card, 2),
+		ordering.MethodSumBased: ordering.NewSumBased(card, 2),
+	}
+	for _, method := range ordering.PaperMethods() {
+		ord := ords[method]
+		b.Run(method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for idx := int64(0); idx < ord.Size(); idx++ {
+					p := ord.Path(idx)
+					if ord.Index(p) != idx {
+						b.Fatal("bijection violated")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1Distribution regenerates the Figure 1 data: the Moreno
+// Health k=3 distribution in num-alph order with an equi-width histogram
+// over it.
+func BenchmarkFigure1Distribution(b *testing.B) {
+	f := getFixture(b, 0, 3, 0.1)
+	ord, err := ordering.ForGraph(ordering.MethodNumAlph, f.g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := core.DomainVector(f.census, ord)
+		h := histogram.EquiWidth(data, int(f.census.Size()/8))
+		if h.Buckets() < 1 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkTable3Datasets measures generation of each Table 3 dataset at
+// reduced scale — the substrate cost of every other experiment.
+func BenchmarkTable3Datasets(b *testing.B) {
+	for _, spec := range dataset.Table3() {
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := dataset.Generate(spec, 0.05, int64(i))
+				if g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4EstimationTime reproduces Table 4: per-query estimation
+// latency of a V-Optimal label-path histogram for each ordering method at
+// each bucket budget (β = |Lk|/2^i). The paper's shape targets: sum-based
+// is the slowest method (costlier (un)ranking), and latency shrinks as β
+// falls (cheaper bucket search).
+func BenchmarkTable4EstimationTime(b *testing.B) {
+	const k = 4 // paper: 6; reduced so the fixture builds in seconds
+	f := getFixture(b, 0, k, 0.1)
+	for _, denom := range []int{2, 8, 32, 128} {
+		beta := int(f.census.Size() / int64(denom))
+		if beta < 1 {
+			beta = 1
+		}
+		for _, method := range ordering.PaperMethods() {
+			ord, err := ordering.ForGraph(method, f.g, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ph, err := core.Build(f.census, ord, core.BuilderVOptimal, beta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := make([]paths.Path, 1024)
+			rng := rand.New(rand.NewSource(7))
+			for i := range queries {
+				queries[i] = ord.Path(rng.Int63n(ord.Size()))
+			}
+			b.Run(fmt.Sprintf("beta=%d/%s", beta, method), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = ph.Estimate(queries[i%len(queries)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2Accuracy reproduces Figure 2: it builds a V-Optimal
+// histogram per (dataset, method) at a fixed reduced budget and reports
+// the mean error rate as err_rate/op alongside construction time. The
+// shape target: sum-based reports the lowest err_rate on every dataset,
+// with the largest margins on the synthetic datasets.
+func BenchmarkFigure2Accuracy(b *testing.B) {
+	const k = 3
+	for specIdx, spec := range dataset.Table3() {
+		f := getFixture(b, specIdx, k, 0.03)
+		beta := int(f.census.Size() / 16)
+		if beta < 2 {
+			beta = 2
+		}
+		for _, method := range ordering.PaperMethods() {
+			ord, err := ordering.ForGraph(method, f.g, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, method), func(b *testing.B) {
+				var ev core.Evaluation
+				for i := 0; i < b.N; i++ {
+					ph, err := core.Build(f.census, ord, core.BuilderVOptimal, beta)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ev = core.Evaluate(ph, f.census)
+				}
+				b.ReportMetric(ev.MeanErrorRate, "err_rate/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBuilders compares histogram construction algorithms on
+// the same sum-based domain — the DESIGN.md §6 ablation of "how much is
+// the bucketing algorithm vs the ordering".
+func BenchmarkAblationBuilders(b *testing.B) {
+	const k = 3
+	f := getFixture(b, 0, k, 0.1)
+	ord, err := ordering.ForGraph(ordering.MethodSumBased, f.g, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := core.DomainVector(f.census, ord)
+	beta := len(data) / 16
+	builders := map[string]func([]int64, int) *histogram.Histogram{
+		"v-optimal":  histogram.VOptimal,
+		"equi-width": histogram.EquiWidth,
+		"equi-depth": histogram.EquiDepth,
+		"max-diff":   histogram.MaxDiff,
+	}
+	for _, name := range []string{"v-optimal", "equi-width", "equi-depth", "max-diff"} {
+		build := builders[name]
+		b.Run(name, func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				h := build(data, beta)
+				sse = h.TotalSSE()
+			}
+			b.ReportMetric(sse, "sse/op")
+		})
+	}
+}
+
+// BenchmarkOrderingIndex isolates the (un)ranking function cost per
+// ordering method — the mechanism behind Table 4's "sum-based ≈ 20%
+// slower" row (the paper's O(k) native vs O(log(|L|)^k) sum-based
+// complexity claim).
+func BenchmarkOrderingIndex(b *testing.B) {
+	const k = 6
+	f := getFixture(b, 0, 2, 0.1) // graph only used for rankings
+	for _, method := range ordering.PaperMethods() {
+		ord, err := ordering.ForGraph(method, f.g, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := make([]paths.Path, 1024)
+		rng := rand.New(rand.NewSource(3))
+		for i := range queries {
+			queries[i] = ord.Path(rng.Int63n(ord.Size()))
+		}
+		b.Run("Index/"+method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ord.Index(queries[i%len(queries)])
+			}
+		})
+		b.Run("Unrank/"+method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ord.Path(int64(i) % ord.Size())
+			}
+		})
+	}
+}
+
+// BenchmarkCensus measures the exact selectivity engine — the substrate
+// every experiment pays once per (dataset, k).
+func BenchmarkCensus(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("moreno/k=%d", k), func(b *testing.B) {
+			g := dataset.Generate(dataset.Table3()[0], 0.1, 1).Freeze()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := paths.NewCensus(g, k)
+				if c.Total() == 0 {
+					b.Fatal("empty census")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCensusParallel compares the sequential and parallel selectivity
+// engines — the scale lever for paper-size runs.
+func BenchmarkCensusParallel(b *testing.B) {
+	g := dataset.Generate(dataset.Table3()[0], 0.15, 1).Freeze()
+	const k = 3
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := paths.NewCensusParallel(g, k, workers)
+				if c.Total() == 0 {
+					b.Fatal("empty census")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrefixRangeQuery measures the prefix wildcard query path (lex
+// ordering + histogram range query) against summing point estimates.
+func BenchmarkPrefixRangeQuery(b *testing.B) {
+	f := getFixture(b, 0, 4, 0.1)
+	ord, err := ordering.ForGraph(ordering.MethodLexCard, f.g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ph, err := core.Build(f.census, ord, core.BuilderVOptimal, int(f.census.Size()/16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := paths.Path{0, 1}
+	b.Run("range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ph.EstimatePrefix(prefix); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSynopsisCodec measures persistence round trips of the synopsis.
+func BenchmarkSynopsisCodec(b *testing.B) {
+	f := getFixture(b, 0, 3, 0.1)
+	ord, err := ordering.ForGraph(ordering.MethodSumBased, f.g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ph, err := core.Build(f.census, ord, core.BuilderVOptimal, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := ph.Encode(&blob); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := ph.Encode(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReadPathHistogram(bytes.NewReader(blob.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadAccuracy runs the per-workload accuracy extension.
+func BenchmarkWorkloadAccuracy(b *testing.B) {
+	opt := experiments.Options{
+		Scale: 0.03, Seed: 1, TimingK: 3,
+		AccuracyKs: []int{3}, BetaDenoms: []int{16},
+		Queries: 512, Repeats: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WorkloadAccuracy(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentSuite times the end-to-end reduced-scale reproduction
+// of Table 4 and Figure 2 — what `cmd/experiments` runs.
+func BenchmarkExperimentSuite(b *testing.B) {
+	opt := experiments.Options{
+		Scale:      0.02,
+		Seed:       1,
+		TimingK:    3,
+		AccuracyKs: []int{2},
+		BetaDenoms: []int{4, 32},
+		Queries:    256,
+		Repeats:    1,
+	}
+	b.Run("table4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunTable4(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("figure2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunFigure2(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

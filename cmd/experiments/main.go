@@ -1,0 +1,233 @@
+// Command experiments reproduces the paper's evaluation tables and
+// figures. By default it runs every experiment at a reduced dataset scale
+// (same code paths, smaller graphs — see DESIGN.md §4); -full switches to
+// the published parameters (slow: the Figure 2 sweep recomputes exact
+// selectivity censuses at k = 6 on ~200k-edge graphs).
+//
+// Usage:
+//
+//	experiments [-exp all|tables12|figure1|table3|table4|figure2|ablation|bounds]
+//	            [-scale 0.04] [-seed 1] [-full] [-csv DIR]
+//
+// With -csv, each experiment additionally writes a machine-readable CSV
+// file (table4.csv, figure2.csv, …) into DIR for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, tables12, figure1, table3, table4, figure2, ablation, bounds, workload")
+	scale := flag.Float64("scale", 0, "dataset scale in (0,1]; 0 = configuration default")
+	seed := flag.Int64("seed", 1, "generator seed")
+	full := flag.Bool("full", false, "use the paper's published parameters (slow)")
+	csvDir := flag.String("csv", "", "directory to write CSV result files into (created if missing)")
+	ds := flag.String("dataset", "", "restrict figure2/table3 to one Table 3 dataset name")
+	maxK := flag.Int("maxk", 0, "cap the accuracy sweep's path length bound (0 = configuration default)")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *full {
+		opt = experiments.PaperOptions()
+	}
+	if *scale > 0 {
+		opt.Scale = *scale
+	}
+	opt.Seed = *seed
+	if *ds != "" {
+		opt.Datasets = []string{*ds}
+	}
+	if *maxK > 0 {
+		var ks []int
+		for _, k := range opt.AccuracyKs {
+			if k <= *maxK {
+				ks = append(ks, k)
+			}
+		}
+		opt.AccuracyKs = ks
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*exp, opt, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV writes one CSV artifact via the supplied encoder.
+func writeCSV(dir, name string, encode func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(exp string, opt experiments.Options, csvDir string) error {
+	out := os.Stdout
+	runOne := func(name string) error {
+		switch name {
+		case "tables12":
+			experiments.RunTables12().Render(out)
+		case "figure1":
+			res, err := experiments.RunFigure1(opt)
+			if err != nil {
+				return err
+			}
+			res.Render(out, 60)
+			return writeCSV(csvDir, "figure1.csv", func(f *os.File) error { return res.WriteCSV(f) })
+		case "table3":
+			rows, err := experiments.RunTable3(opt)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable3(out, rows)
+		case "table4":
+			res, err := experiments.RunTable4(opt)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+			return writeCSV(csvDir, "table4.csv", func(f *os.File) error { return res.WriteCSV(f) })
+		case "figure2":
+			res, err := experiments.RunFigure2(opt)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+			return writeCSV(csvDir, "figure2.csv", func(f *os.File) error { return res.WriteCSV(f) })
+		case "ablation":
+			cells, err := experiments.BuilderAblation(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Ablation: mean error rate by ordering × histogram builder (Moreno, k=3)")
+			header := []string{"method", "builder", "beta", "mean err"}
+			var rows [][]string
+			for _, c := range cells {
+				rows = append(rows, []string{c.Method, c.Builder,
+					fmt.Sprintf("%d", c.Beta), fmt.Sprintf("%.4f", c.MeanErrorRate)})
+			}
+			experiments.RenderTable(out, header, rows)
+			return writeCSV(csvDir, "ablation.csv", func(f *os.File) error {
+				return experiments.WriteAblationCSV(f, cells)
+			})
+		case "workload":
+			cells, err := experiments.WorkloadAccuracy(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Workload accuracy: mean error rate by query workload × ordering (Moreno, k=3)")
+			header := []string{"workload", "method", "beta", "mean err", "mean q-err"}
+			var rows [][]string
+			for _, c := range cells {
+				rows = append(rows, []string{c.Workload, c.Method, fmt.Sprintf("%d", c.Beta),
+					fmt.Sprintf("%.4f", c.MeanErrorRate), fmt.Sprintf("%.2f", c.MeanQError)})
+			}
+			experiments.RenderTable(out, header, rows)
+			return writeCSV(csvDir, "workload.csv", func(f *os.File) error {
+				return experiments.WriteWorkloadCSV(f, cells)
+			})
+		case "profile":
+			rows, err := experiments.ErrorProfiles(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Error profile: mean error rate by path length and selectivity decile (Moreno, k=3)")
+			header := []string{"method", "axis", "bucket", "paths", "mean err"}
+			var cells [][]string
+			for _, r := range rows {
+				cells = append(cells, []string{r.Method, r.Axis, fmt.Sprintf("%d", r.Bucket),
+					fmt.Sprintf("%d", r.Paths), fmt.Sprintf("%.4f", r.MeanErrorRate)})
+			}
+			experiments.RenderTable(out, header, cells)
+		case "plans":
+			cells, err := experiments.PlanQuality(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Plan quality: join-direction planning from histogram estimates (Moreno, k=3)")
+			header := []string{"method", "beta", "oracle agreement", "work ratio"}
+			var rows [][]string
+			for _, c := range cells {
+				rows = append(rows, []string{c.Method, fmt.Sprintf("%d", c.Beta),
+					fmt.Sprintf("%.3f", c.Agreement), fmt.Sprintf("%.3f", c.WorkRatio)})
+			}
+			experiments.RenderTable(out, header, rows)
+			return writeCSV(csvDir, "plans.csv", func(f *os.File) error {
+				return experiments.WritePlanCSV(f, cells)
+			})
+		case "correlation":
+			cells, err := experiments.CorrelationSweep(opt, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Correlation sweep: label–degree coupling vs mean error rate (Moreno family, k=3)")
+			header := []string{"coupling", "method", "beta", "mean err"}
+			var rows [][]string
+			for _, c := range cells {
+				rows = append(rows, []string{fmt.Sprintf("%.2f", c.Coupling), c.Method,
+					fmt.Sprintf("%d", c.Beta), fmt.Sprintf("%.4f", c.MeanErrorRate)})
+			}
+			experiments.RenderTable(out, header, rows)
+			fmt.Fprintln(out, "\nsum-based advantage (best rival error / sum-based error; >1 = sum-based wins):")
+			adv := experiments.SumBasedAdvantage(cells)
+			for _, c := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+				if r, ok := adv[c]; ok {
+					fmt.Fprintf(out, "  coupling %.2f: %.2fx\n", c, r)
+				}
+			}
+			return writeCSV(csvDir, "correlation.csv", func(f *os.File) error {
+				return experiments.WriteCorrelationCSV(f, cells)
+			})
+		case "bounds":
+			cells, err := experiments.OrderingBounds(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "Bounds: paper orderings vs ideal, sum-L2 and product (Moreno, k=3, V-Optimal)")
+			header := []string{"beta", "method", "mean err"}
+			var rows [][]string
+			for _, c := range cells {
+				rows = append(rows, []string{fmt.Sprintf("%d", c.Beta), c.Method,
+					fmt.Sprintf("%.4f", c.MeanErrorRate)})
+			}
+			experiments.RenderTable(out, header, rows)
+			return writeCSV(csvDir, "bounds.csv", func(f *os.File) error {
+				return experiments.WriteBoundsCSV(f, cells)
+			})
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp != "all" {
+		return runOne(exp)
+	}
+	for _, name := range []string{"tables12", "table3", "figure1", "table4", "figure2", "ablation", "bounds", "workload", "correlation", "plans", "profile"} {
+		fmt.Fprintf(out, "\n================ %s ================\n", name)
+		if err := runOne(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

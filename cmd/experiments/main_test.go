@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func fastOptions() experiments.Options {
+	return experiments.Options{
+		Scale:      0.02,
+		Seed:       1,
+		TimingK:    3,
+		AccuracyKs: []int{2},
+		BetaDenoms: []int{8},
+		Queries:    50,
+		Repeats:    1,
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"tables12", "table3", "figure1", "table4", "ablation", "profile"} {
+		if err := run(exp, fastOptions(), ""); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", fastOptions(), ""); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("figure2", fastOptions(), dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV artifact")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	if err := run("all", fastOptions(), t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

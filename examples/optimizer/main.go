@@ -1,0 +1,83 @@
+// Optimizer scenario: the use case the paper's introduction motivates —
+// cardinality estimation inside a graph query optimizer. A path query
+// l1/l2/l3 can be evaluated left-to-right or right-to-left; the cheaper
+// direction starts from the more selective end. The example shows a tiny
+// cost-based chooser that picks the direction from histogram estimates and
+// compares its choices against the exact-statistics oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/pathsel"
+)
+
+// direction decides evaluation order for a 2-segment split of a path:
+// compare the selectivity of the leading and trailing segment and start
+// from the smaller one.
+func direction(first, second float64) string {
+	if first <= second {
+		return "left-to-right"
+	}
+	return "right-to-left"
+}
+
+func main() {
+	g, err := pathsel.GenerateDataset("Moreno health", 0.12, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	est, err := pathsel.Build(g, pathsel.Config{
+		MaxPathLength: 2, // the optimizer only needs segment statistics
+		Ordering:      pathsel.OrderingSumBased,
+		Buckets:       12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("statistics: %d buckets over %d paths (sum-based ordering)\n\n",
+		est.Buckets(), est.DomainSize())
+
+	queries := [][2]string{
+		{"1/2", "3"}, {"1", "5/6"}, {"2/2", "4"}, {"6", "1/1"}, {"4/4", "2"},
+	}
+	agree := 0
+	for _, q := range queries {
+		left, right := q[0], q[1]
+		full := left + "/" + right
+
+		eLeft, err := est.Estimate(left)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eRight, err := est.Estimate(right)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fLeft, err := g.TrueSelectivity(left)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fRight, err := g.TrueSelectivity(right)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		chosen := direction(eLeft, eRight)
+		oracle := direction(float64(fLeft), float64(fRight))
+		match := "✗"
+		if chosen == oracle {
+			agree++
+			match = "✓"
+		}
+		fmt.Printf("query %-8s split %-5s | %-5s  est(%5.1f | %5.1f)  exact(%4d | %4d)  plan=%-13s oracle=%-13s %s\n",
+			full, left, right, eLeft, eRight, fLeft, fRight, chosen, oracle, match)
+	}
+	fmt.Printf("\nplan agreement with exact-statistics oracle: %d/%d\n", agree, len(queries))
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("histogram footprint:", est.Buckets(), "buckets vs", est.DomainSize(), "exact counters")
+}

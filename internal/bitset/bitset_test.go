@@ -1,0 +1,298 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", s.Len())
+	}
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", s.Count())
+	}
+}
+
+func TestNewZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || !s.Empty() {
+		t.Fatal("zero-capacity set should be empty")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count() = %d after double Add, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Add(10)":       func() { s.Add(10) },
+		"Add(-1)":       func() { s.Add(-1) },
+		"Contains(10)":  func() { s.Contains(10) },
+		"Remove(1000)":  func() { s.Remove(1000) },
+		"Contains(-5)":  func() { s.Contains(-5) },
+		"Remove(-1)":    func() { s.Remove(-1) },
+		"Add(overflow)": func() { s.Add(1 << 40) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(70)
+	s.Add(1)
+	s.Add(69)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+	if s.Len() != 70 {
+		t.Fatal("Clear changed capacity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Add(6)
+	if s.Contains(6) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Add(1)
+	b.Add(2)
+	a.CopyFrom(b)
+	if a.Contains(1) || !a.Contains(2) {
+		t.Fatal("CopyFrom did not overwrite")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch should panic")
+		}
+	}()
+	New(64).CopyFrom(New(65))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	mk := func(xs ...int) *Set {
+		s := New(100)
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s
+	}
+	u := mk(1, 2, 3)
+	u.UnionWith(mk(3, 4))
+	if !u.Equal(mk(1, 2, 3, 4)) {
+		t.Fatalf("union = %v", u)
+	}
+	i := mk(1, 2, 3)
+	i.IntersectWith(mk(2, 3, 4))
+	if !i.Equal(mk(2, 3)) {
+		t.Fatalf("intersection = %v", i)
+	}
+	d := mk(1, 2, 3)
+	d.DifferenceWith(mk(2))
+	if !d.Equal(mk(1, 3)) {
+		t.Fatalf("difference = %v", d)
+	}
+}
+
+func TestEqualDifferentCapacity(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("sets with different capacity must not be Equal")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := New(200)
+	want := []int{0, 63, 64, 100, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+	var n int
+	s.ForEach(func(int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	s := New(66)
+	s.Add(65)
+	s.Add(0)
+	m := s.Members()
+	if len(m) != 2 || m[0] != 0 || m[1] != 65 {
+		t.Fatalf("Members() = %v", m)
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := New(200)
+	s.Add(5)
+	s.Add(64)
+	s.Add(199)
+	cases := []struct{ from, want int }{
+		{-3, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if New(10).Next(0) != -1 {
+		t.Error("Next on empty set should be -1")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(7)
+	if got := s.String(); got != "{1, 7}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+// Property: Count equals the number of distinct indices added.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		seen := map[uint16]bool{}
+		for _, i := range idx {
+			s.Add(int(i))
+			seen[i] = true
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and intersection distributes over union.
+func TestQuickAlgebraLaws(t *testing.T) {
+	gen := func(r *rand.Rand, n int) *Set {
+		s := New(n)
+		for i := 0; i < n/4; i++ {
+			s.Add(r.Intn(n))
+		}
+		return s
+	}
+	r := rand.New(rand.NewSource(42))
+	const n = 257
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := gen(r, n), gen(r, n), gen(r, n)
+
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		if !ab.Equal(ba) {
+			t.Fatal("union not commutative")
+		}
+
+		// a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c)
+		bc := b.Clone()
+		bc.UnionWith(c)
+		lhs := a.Clone()
+		lhs.IntersectWith(bc)
+		abI := a.Clone()
+		abI.IntersectWith(b)
+		acI := a.Clone()
+		acI.IntersectWith(c)
+		rhs := abI.Clone()
+		rhs.UnionWith(acI)
+		if !lhs.Equal(rhs) {
+			t.Fatal("intersection does not distribute over union")
+		}
+
+		// (a \ b) ∩ b == ∅
+		diff := a.Clone()
+		diff.DifferenceWith(b)
+		diff.IntersectWith(b)
+		if !diff.Empty() {
+			t.Fatal("difference law violated")
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package combinat implements the combinatorial machinery behind the
+// sum-based histogram domain ordering of Yakovets et al. (EDBT 2018):
+//
+//   - binomial coefficients,
+//   - Dist — the number of bounded compositions (Eq. 3 of the paper): how
+//     many length-m sequences of ranks in [1, b] sum to a given value,
+//   - Partitions — ordered enumeration of integer partitions of v into
+//     exactly m parts bounded by b (Eq. 4), in the paper's stage-three
+//     order,
+//   - NumPermutations — the number of distinct permutations of a multiset
+//     (Eq. 5),
+//   - permutation unranking within a combination (Algorithm 1) and its
+//     inverse ranking.
+//
+// All quantities in the target workloads are small (k ≤ 8, |L| ≤ 64), so
+// int64 arithmetic suffices; functions panic on overflow rather than return
+// wrong answers.
+package combinat
+
+import "fmt"
+
+// Binomial returns C(n, k). It returns 0 when k < 0 or k > n, matching the
+// combinatorial convention used by inclusion–exclusion sums. It panics on
+// int64 overflow.
+func Binomial(n, k int64) int64 {
+	if k < 0 || n < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var r int64 = 1
+	for i := int64(1); i <= k; i++ {
+		hi, lo := mulCheck(r, n-k+i)
+		if hi {
+			panic(fmt.Sprintf("combinat: Binomial(%d,%d) overflows int64", n, k))
+		}
+		r = lo / i
+	}
+	return r
+}
+
+// mulCheck multiplies a*b and reports overflow.
+func mulCheck(a, b int64) (overflow bool, prod int64) {
+	if a == 0 || b == 0 {
+		return false, 0
+	}
+	p := a * b
+	if p/b != a {
+		return true, 0
+	}
+	return false, p
+}
+
+// Dist returns the number of length-m sequences (r1, …, rm) with every
+// ri ∈ [1, b] and Σri = sum. This is Eq. 3 of the paper — the size of a
+// stage-two partition of the sum-based domain — computed by
+// inclusion–exclusion:
+//
+//	dist(sum, m, b) = Σ_{j≥0} (−1)^j · C(m, j) · C(sum − j·b − 1, m − 1)
+//
+// Dist returns 0 for impossible inputs (sum < m or sum > m·b or m ≤ 0,
+// except Dist(0, 0, b) = 1).
+func Dist(sum, m, b int64) int64 {
+	if m == 0 {
+		if sum == 0 {
+			return 1
+		}
+		return 0
+	}
+	if m < 0 || b <= 0 || sum < m || sum > m*b {
+		return 0
+	}
+	var total int64
+	for j := int64(0); ; j++ {
+		top := sum - j*b - 1
+		if top < m-1 {
+			break
+		}
+		term := Binomial(m, j) * Binomial(top, m-1)
+		if j%2 == 0 {
+			total += term
+		} else {
+			total -= term
+		}
+		if j == m {
+			break
+		}
+	}
+	return total
+}
+
+// DistNaive counts the same quantity by brute-force recursion; it exists to
+// cross-check Dist in tests and to document the semantics directly.
+func DistNaive(sum, m, b int64) int64 {
+	if m == 0 {
+		if sum == 0 {
+			return 1
+		}
+		return 0
+	}
+	if sum < m || sum > m*b {
+		return 0
+	}
+	var total int64
+	for r := int64(1); r <= b; r++ {
+		total += DistNaive(sum-r, m-1, b)
+	}
+	return total
+}
+
+// Partitions enumerates the integer partitions of v into exactly m parts,
+// every part in [1, b], in the paper's Formula-4 order: the outer loop
+// ascends over i = number of parts equal to the current bound b (i = 0
+// first), recursing with bound b−1 on the remainder. Each emitted partition
+// is sorted ascending. The slice passed to emit is reused; callers must copy
+// it if they retain it. Enumeration stops early when emit returns false.
+//
+// This exact order is what makes the stage-three domain layout of sum-based
+// ordering deterministic, so it is part of the package contract and is
+// pinned by golden tests (including the paper's worked example in Table 2).
+func Partitions(v, m, b int64, emit func(parts []int64) bool) {
+	buf := make([]int64, 0, m)
+	partitionsRec(v, m, b, buf, emit)
+}
+
+// partitionsRec appends parts (all equal to bounds > current b are already
+// in buf, largest last) and reports whether enumeration should continue.
+func partitionsRec(v, m, b int64, buf []int64, emit func([]int64) bool) bool {
+	if m == 0 {
+		if v != 0 {
+			return true
+		}
+		// buf holds parts from smallest bound to largest; emit ascending.
+		out := make([]int64, len(buf))
+		for i, p := range buf {
+			out[len(buf)-1-i] = p
+		}
+		return emit(out)
+	}
+	if b <= 0 || v < m || v > m*b {
+		return true
+	}
+	for i := int64(0); i*b <= v && i <= m; i++ {
+		// i copies of b, recurse on the rest with bound b−1.
+		next := buf
+		for j := int64(0); j < i; j++ {
+			next = append(next, b)
+		}
+		if !partitionsRec(v-i*b, m-i, b-1, next, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumPermutations returns the number of distinct permutations of the
+// multiset parts (Eq. 5): |parts|! / Π_i d_i! where d_i is the multiplicity
+// of value i.
+func NumPermutations(parts []int64) int64 {
+	counts := map[int64]int64{}
+	for _, p := range parts {
+		counts[p]++
+	}
+	var r int64 = 1
+	// Build n!/Πd_i! incrementally to keep intermediates small: treat the
+	// multiset as a sequence of draws, r *= position / (draws of this value
+	// so far). Equivalent closed form, less overflow-prone.
+	pos := int64(0)
+	for v, c := range counts {
+		_ = v
+		for i := int64(1); i <= c; i++ {
+			pos++
+			hi, p := mulCheck(r, pos)
+			if hi {
+				panic("combinat: NumPermutations overflows int64")
+			}
+			r = p / i
+		}
+	}
+	return r
+}
+
+// UnrankPermutation returns the index-th (0-based) distinct permutation of
+// the multiset parts, in ascending lexicographic order. parts must be
+// sorted ascending. It returns nil when index is out of range. This is
+// Algorithm 1 of the paper; the block size below a candidate leading
+// element x is computed in O(1) from the identity
+//
+//	nop(S \ {x}) = nop(S) · d_x / |S|
+//
+// instead of re-deriving Eq. 5 per step, so the whole unranking is O(k²)
+// with a single output allocation.
+func UnrankPermutation(index int64, parts []int64) []int64 {
+	if index < 0 || index >= NumPermutations(parts) {
+		return nil
+	}
+	remaining := make([]int64, len(parts))
+	copy(remaining, parts)
+	nop := NumPermutations(parts)
+	n := int64(len(remaining))
+	out := make([]int64, 0, len(parts))
+	for n > 0 {
+		i := 0
+		for {
+			// Count duplicates of the candidate leading element.
+			v := remaining[i]
+			d := int64(0)
+			j := i
+			for j < len(remaining) && remaining[j] == v {
+				d++
+				j++
+			}
+			block := nop * d / n
+			if index >= block {
+				index -= block
+				i = j
+				continue
+			}
+			out = append(out, v)
+			nop = block
+			n--
+			// Remove one occurrence of v, keeping the slice sorted.
+			copy(remaining[i:], remaining[i+1:])
+			remaining = remaining[:len(remaining)-1]
+			break
+		}
+	}
+	return out
+}
+
+// RankPermutation is the inverse of UnrankPermutation: it returns the
+// 0-based position of perm among the distinct ascending-lexicographic
+// permutations of its own multiset. perm need not be sorted. It panics if
+// perm is empty. Like UnrankPermutation it uses the O(1) block-size
+// identity, so ranking is O(k²).
+func RankPermutation(perm []int64) int64 {
+	if len(perm) == 0 {
+		panic("combinat: RankPermutation of empty permutation")
+	}
+	remaining := make([]int64, len(perm))
+	copy(remaining, perm)
+	sortInt64(remaining)
+	nop := NumPermutations(remaining)
+	n := int64(len(remaining))
+	var rank int64
+	for _, v := range perm {
+		i := 0
+		for {
+			x := remaining[i]
+			d := int64(0)
+			j := i
+			for j < len(remaining) && remaining[j] == x {
+				d++
+				j++
+			}
+			block := nop * d / n
+			if x != v {
+				rank += block
+				i = j
+				continue
+			}
+			nop = block
+			n--
+			copy(remaining[i:], remaining[i+1:])
+			remaining = remaining[:len(remaining)-1]
+			break
+		}
+	}
+	return rank
+}
+
+// sortInt64 is insertion sort; inputs have length ≤ k (tiny).
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Pow returns base^exp for non-negative exp, panicking on overflow.
+func Pow(base, exp int64) int64 {
+	if exp < 0 {
+		panic("combinat: negative exponent")
+	}
+	var r int64 = 1
+	for i := int64(0); i < exp; i++ {
+		hi, p := mulCheck(r, base)
+		if hi {
+			panic(fmt.Sprintf("combinat: Pow(%d,%d) overflows int64", base, exp))
+		}
+		r = p
+	}
+	return r
+}
+
+// GeometricSum returns Σ_{i=1..k} base^i, the number of non-empty sequences
+// of length ≤ k over a base-sized alphabet — i.e. |Lk|.
+func GeometricSum(base, k int64) int64 {
+	var total int64
+	for i := int64(1); i <= k; i++ {
+		total += Pow(base, i)
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/histogram"
+	"repro/internal/ordering"
+)
+
+// The persistence codec writes a PathHistogram as a compact, versioned
+// binary blob: the ordering method, its ranking permutation, and the
+// bucket list. That is the *whole* synopsis — the original distribution is
+// not stored, which is the point of a histogram. Only the five paper
+// methods with serial histograms are serializable; materialized orderings
+// would require O(|Lk|) permutations (the memory cost the paper rules
+// out), and non-serial synopses are ablation baselines.
+
+const (
+	codecMagic   = uint32(0x50534831) // "PSH1"
+	codecVersion = byte(1)
+)
+
+// writeString writes a uvarint-length-prefixed UTF-8 string.
+func writeString(w *bufio.Writer, s string) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("core: string length %d exceeds sanity cap", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w *bufio.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// rankedOrdering is implemented by the three serializable ordering rules.
+type rankedOrdering interface {
+	ordering.Ordering
+	Ranking() *ordering.Ranking
+}
+
+// Encode serializes the path histogram. It fails for materialized
+// orderings and non-serial synopses (see the codec comment).
+func (ph *PathHistogram) Encode(w io.Writer) error {
+	ro, ok := ph.ord.(rankedOrdering)
+	if !ok {
+		return fmt.Errorf("core: ordering %s is not serializable (materialized permutation)", ph.ord.Name())
+	}
+	h, ok := ph.est.(*histogram.Histogram)
+	if !ok {
+		return fmt.Errorf("core: synopsis %s is not a serial histogram", ph.builder)
+	}
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, codecMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, ph.ord.Name()); err != nil {
+		return err
+	}
+	rank := ro.Ranking()
+	if err := writeString(bw, rank.Name()); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(ph.ord.K())); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(rank.NumLabels())); err != nil {
+		return err
+	}
+	for _, l := range rank.Order() {
+		if err := writeUvarint(bw, uint64(l)); err != nil {
+			return err
+		}
+	}
+	if err := writeString(bw, ph.builder); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(ph.beta)); err != nil {
+		return err
+	}
+	if err := writeString(bw, h.Kind()); err != nil {
+		return err
+	}
+	if err := writeVarint(bw, h.DomainSize()); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(h.Buckets())); err != nil {
+		return err
+	}
+	for i := 0; i < h.Buckets(); i++ {
+		b := h.Bucket(i)
+		if err := writeVarint(bw, b.Lo); err != nil {
+			return err
+		}
+		if err := writeVarint(bw, b.Hi); err != nil {
+			return err
+		}
+		if err := writeVarint(bw, b.Sum); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(b.SSE)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPathHistogram deserializes a path histogram written by Encode.
+func ReadPathHistogram(r io.Reader) (*PathHistogram, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("core: bad magic 0x%08x (not a path-histogram file)", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("core: unsupported codec version %d", version)
+	}
+	method, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	rankName, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	k64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	numLabels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if numLabels == 0 || numLabels > 1<<16 {
+		return nil, fmt.Errorf("core: implausible label count %d", numLabels)
+	}
+	order := make([]int, numLabels)
+	for i := range order {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		order[i] = int(v)
+	}
+	rank, err := ordering.RankingFromOrder(rankName, order)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := orderingFromMethod(method, rank, int(k64))
+	if err != nil {
+		return nil, err
+	}
+	builder, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if domain != ord.Size() {
+		return nil, fmt.Errorf("core: domain size %d disagrees with ordering (%d)", domain, ord.Size())
+	}
+	nBuckets, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nBuckets == 0 || int64(nBuckets) > domain {
+		return nil, fmt.Errorf("core: implausible bucket count %d for domain %d", nBuckets, domain)
+	}
+	buckets := make([]histogram.Bucket, nBuckets)
+	for i := range buckets {
+		if buckets[i].Lo, err = binary.ReadVarint(br); err != nil {
+			return nil, err
+		}
+		if buckets[i].Hi, err = binary.ReadVarint(br); err != nil {
+			return nil, err
+		}
+		if buckets[i].Sum, err = binary.ReadVarint(br); err != nil {
+			return nil, err
+		}
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, err
+		}
+		buckets[i].SSE = math.Float64frombits(bits)
+	}
+	h, err := histogram.FromBuckets(kind, domain, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &PathHistogram{ord: ord, est: h, builder: builder, beta: int(beta)}, nil
+}
+
+// orderingFromMethod reconstructs an ordering rule from its method name
+// and a ranking.
+func orderingFromMethod(method string, rank *ordering.Ranking, k int) (ordering.Ordering, error) {
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("core: implausible k = %d", k)
+	}
+	switch {
+	case strings.HasPrefix(method, "num-"):
+		return ordering.NewNumerical(rank, k), nil
+	case strings.HasPrefix(method, "lex-"):
+		return ordering.NewLexicographic(rank, k), nil
+	case method == ordering.MethodSumBased || strings.HasPrefix(method, "sum-"):
+		return ordering.NewSumBased(rank, k), nil
+	default:
+		return nil, fmt.Errorf("core: unknown ordering method %q", method)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/paths"
+	"repro/internal/stats"
+)
+
+// LengthBucket aggregates estimation error over one path length class.
+type LengthBucket struct {
+	Length        int
+	Paths         int64
+	MeanErrorRate float64
+}
+
+// DecileBucket aggregates estimation error over one decile of the true
+// selectivity distribution (decile 0 = least selective tenth of paths,
+// decile 9 = the heaviest hitters).
+type DecileBucket struct {
+	Decile        int
+	MinF, MaxF    int64
+	Paths         int64
+	MeanErrorRate float64
+}
+
+// ErrorProfile decomposes whole-domain estimation error along the two axes
+// that matter for diagnosis: path length (longer paths share buckets with
+// more neighbours under every ordering) and true-selectivity magnitude
+// (histogram compression hurts heavy and light paths differently). This is
+// the analysis lens of the thesis underlying the paper [12].
+type ErrorProfile struct {
+	ByLength []LengthBucket
+	ByDecile []DecileBucket
+}
+
+// Profile computes the error profile of ph against the census.
+func Profile(ph *PathHistogram, c *paths.Census) ErrorProfile {
+	type obs struct {
+		f   int64
+		abs float64
+	}
+	byLen := make(map[int][]float64)
+	all := make([]obs, 0, c.Size())
+	c.ForEach(func(p paths.Path, f int64) bool {
+		e := ph.Estimate(p)
+		abs := stats.Err(e, float64(f))
+		if abs < 0 {
+			abs = -abs
+		}
+		byLen[len(p)] = append(byLen[len(p)], abs)
+		all = append(all, obs{f: f, abs: abs})
+		return true
+	})
+
+	var profile ErrorProfile
+	lengths := make([]int, 0, len(byLen))
+	for l := range byLen {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	for _, l := range lengths {
+		errs := byLen[l]
+		var sum float64
+		for _, a := range errs {
+			sum += a
+		}
+		profile.ByLength = append(profile.ByLength, LengthBucket{
+			Length:        l,
+			Paths:         int64(len(errs)),
+			MeanErrorRate: sum / float64(len(errs)),
+		})
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].f < all[j].f })
+	n := len(all)
+	for d := 0; d < 10; d++ {
+		lo, hi := d*n/10, (d+1)*n/10
+		if hi <= lo {
+			continue
+		}
+		slice := all[lo:hi]
+		var sum float64
+		for _, o := range slice {
+			sum += o.abs
+		}
+		profile.ByDecile = append(profile.ByDecile, DecileBucket{
+			Decile:        d,
+			MinF:          slice[0].f,
+			MaxF:          slice[len(slice)-1].f,
+			Paths:         int64(len(slice)),
+			MeanErrorRate: sum / float64(len(slice)),
+		})
+	}
+	return profile
+}

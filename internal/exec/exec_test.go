@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+func testGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	return dataset.ErdosRenyi(60, 400, dataset.NewZipfLabels(3, 1.1), 17).Freeze()
+}
+
+func TestExecuteDirectionsAgree(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(4)
+		p := make(paths.Path, n)
+		for i := range p {
+			p[i] = rng.Intn(3)
+		}
+		fwd, fst := Execute(g, p, Forward)
+		bwd, bst := Execute(g, p, Backward)
+		if !fwd.Equal(bwd) {
+			t.Fatalf("path %v: forward and backward results differ", p)
+		}
+		if fst.Result != bst.Result {
+			t.Fatalf("path %v: result counts differ %d vs %d", p, fst.Result, bst.Result)
+		}
+		if fst.Result != paths.Selectivity(g, p) {
+			t.Fatalf("path %v: result %d != selectivity %d", p, fst.Result, paths.Selectivity(g, p))
+		}
+	}
+}
+
+func TestExecuteIntermediatesAreSelectivities(t *testing.T) {
+	g := testGraph(t)
+	p := paths.Path{0, 1, 2}
+	_, fst := Execute(g, p, Forward)
+	if len(fst.Intermediates) != 2 {
+		t.Fatalf("forward intermediates = %v", fst.Intermediates)
+	}
+	if fst.Intermediates[0] != paths.Selectivity(g, p[:1]) {
+		t.Fatal("first forward intermediate should be f(l1)")
+	}
+	if fst.Intermediates[1] != paths.Selectivity(g, p[:2]) {
+		t.Fatal("second forward intermediate should be f(l1/l2)")
+	}
+	_, bst := Execute(g, p, Backward)
+	if bst.Intermediates[0] != paths.Selectivity(g, p[2:]) {
+		t.Fatal("first backward intermediate should be f(l3)")
+	}
+	if bst.Intermediates[1] != paths.Selectivity(g, p[1:]) {
+		t.Fatal("second backward intermediate should be f(l2/l3)")
+	}
+	if fst.Work != fst.Intermediates[0]+fst.Intermediates[1] {
+		t.Fatal("work must sum intermediates")
+	}
+}
+
+func TestExecuteSingleLabel(t *testing.T) {
+	g := testGraph(t)
+	_, st := Execute(g, paths.Path{1}, Backward)
+	if len(st.Intermediates) != 0 || st.Work != 0 {
+		t.Fatal("single-label query has no intermediates")
+	}
+	if st.Result != paths.Selectivity(g, paths.Path{1}) {
+		t.Fatal("single-label result wrong")
+	}
+}
+
+func TestExecutePanics(t *testing.T) {
+	g := testGraph(t)
+	for name, fn := range map[string]func(){
+		"empty path":    func() { Execute(g, paths.Path{}, Forward) },
+		"bad direction": func() { Execute(g, paths.Path{0}, Direction(7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Fatal("direction names wrong")
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Fatal("unknown direction name wrong")
+	}
+}
+
+func TestPlannerCostsFromExactEstimates(t *testing.T) {
+	g := testGraph(t)
+	c := paths.NewCensus(g, 3)
+	pl := Planner{Est: EstimatorFunc(func(p paths.Path) float64 {
+		return float64(c.Selectivity(p))
+	})}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		p := paths.Path{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		// With exact estimates, the planner's costs equal the actual works.
+		_, fst := Execute(g, p, Forward)
+		_, bst := Execute(g, p, Backward)
+		if got := pl.Cost(p, Forward); got != float64(fst.Work) {
+			t.Fatalf("forward cost %v != actual work %d", got, fst.Work)
+		}
+		if got := pl.Cost(p, Backward); got != float64(bst.Work) {
+			t.Fatalf("backward cost %v != actual work %d", got, bst.Work)
+		}
+		// Therefore the chosen direction is the cheaper one.
+		chosen := pl.Choose(p)
+		_, cst := Execute(g, p, chosen)
+		other := Forward
+		if chosen == Forward {
+			other = Backward
+		}
+		_, ost := Execute(g, p, other)
+		if cst.Work > ost.Work {
+			t.Fatalf("exact-estimate planner chose the costlier direction for %v", p)
+		}
+	}
+}
+
+func TestPlannerTieGoesForward(t *testing.T) {
+	pl := Planner{Est: EstimatorFunc(func(paths.Path) float64 { return 1 })}
+	if pl.Choose(paths.Path{0, 1}) != Forward {
+		t.Fatal("ties should go forward")
+	}
+}

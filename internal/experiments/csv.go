@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports Table 4 as machine-readable CSV with one row per
+// (beta, method) cell — the format plotting scripts expect.
+func (r *Table4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "k", "domain_size", "beta", "method", "avg_micros"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, m := range r.Methods {
+			rec := []string{
+				r.Dataset,
+				strconv.Itoa(r.K),
+				strconv.FormatInt(r.DomainSize, 10),
+				strconv.Itoa(row.Beta),
+				m,
+				strconv.FormatFloat(row.AvgMicros[m], 'f', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Figure 2 as one row per cell.
+func (r *Figure2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "k", "beta", "method", "mean_error_rate"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			c.Dataset,
+			strconv.Itoa(c.K),
+			strconv.Itoa(c.Beta),
+			c.Method,
+			strconv.FormatFloat(c.MeanErrorRate, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the Figure 1 series: one row per domain position.
+func (r *Figure1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "label_path", "frequency", "bucket_mean"}); err != nil {
+		return err
+	}
+	for i := range r.Frequencies {
+		rec := []string{
+			strconv.Itoa(i),
+			r.Labels[i],
+			strconv.FormatInt(r.Frequencies[i], 10),
+			strconv.FormatFloat(r.BucketMeans[i], 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBoundsCSV exports an OrderingBounds run.
+func WriteBoundsCSV(w io.Writer, cells []BoundCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"beta", "method", "mean_error_rate"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.Beta), c.Method,
+			strconv.FormatFloat(c.MeanErrorRate, 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV exports a BuilderAblation run.
+func WriteAblationCSV(w io.Writer, cells []AblationCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "builder", "beta", "mean_error_rate"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			c.Method, c.Builder, strconv.Itoa(c.Beta),
+			strconv.FormatFloat(c.MeanErrorRate, 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

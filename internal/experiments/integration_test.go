@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/ordering"
+)
+
+// TestFigure2SumBasedDominatesSynthetic pins the paper's headline claim at
+// integration level: on the synthetic datasets, at moderate bucket
+// budgets, sum-based ordering must beat every other method by a clear
+// factor; on all datasets it must be at least competitive.
+func TestFigure2SumBasedDominatesSynthetic(t *testing.T) {
+	opt := Options{
+		Scale:      0.04,
+		Seed:       1,
+		TimingK:    3,
+		AccuracyKs: []int{3},
+		BetaDenoms: []int{8}, // β = |L3|/8 = 32 over 6 labels — the mid-budget regime
+		Queries:    10,
+		Repeats:    1,
+	}
+	res, err := RunFigure2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(ds string, minFactor float64) {
+		t.Helper()
+		var sum, bestOther float64
+		bestOther = -1
+		for _, c := range res.Cells {
+			if c.Dataset != ds || c.K != 3 {
+				continue
+			}
+			if c.Method == ordering.MethodSumBased {
+				sum = c.MeanErrorRate
+			} else if bestOther < 0 || c.MeanErrorRate < bestOther {
+				bestOther = c.MeanErrorRate
+			}
+		}
+		if bestOther < 0 {
+			t.Fatalf("%s: no cells", ds)
+		}
+		if sum*minFactor > bestOther {
+			t.Errorf("%s: sum-based %.4f not %.1fx better than best other %.4f",
+				ds, sum, minFactor, bestOther)
+		}
+	}
+	// Synthetic datasets: clear dominance (paper: "far superior").
+	check("SNAP-ER", 2.0)
+	check("SNAP-FF", 1.3)
+	// Real-world-like: still competitive (paper: "not as significant, but
+	// still observable").
+	check("Moreno health", 1.0)
+	check("DBpedia (subgraph)", 1.0)
+}
+
+// TestTable4SumBasedSlowest pins the Table 4 speed ordering: sum-based is
+// the slowest method at every bucket budget.
+func TestTable4SumBasedSlowest(t *testing.T) {
+	res, err := RunTable4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		sum := row.AvgMicros[ordering.MethodSumBased]
+		for _, m := range res.Methods {
+			if m == ordering.MethodSumBased {
+				continue
+			}
+			if row.AvgMicros[m] > sum {
+				t.Errorf("β=%d: %s (%.3fµs) slower than sum-based (%.3fµs)",
+					row.Beta, m, row.AvgMicros[m], sum)
+			}
+		}
+	}
+}
+
+// TestFigure2ErrorShrinksWithBeta pins the sweep-end behaviour: for every
+// (dataset, method), more buckets must not hurt accuracy (the paper's
+// curves fall monotonically with β).
+func TestFigure2ErrorShrinksWithBeta(t *testing.T) {
+	opt := tinyOptions() // BetaDenoms 4, 32 → β large, small
+	res, err := RunFigure2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		ds, m string
+		k     int
+	}
+	best := map[key]map[int]float64{}
+	for _, c := range res.Cells {
+		kk := key{c.Dataset, c.Method, c.K}
+		if best[kk] == nil {
+			best[kk] = map[int]float64{}
+		}
+		best[kk][c.Beta] = c.MeanErrorRate
+	}
+	for kk, byBeta := range best {
+		var largeBeta, smallBeta int
+		for b := range byBeta {
+			if b > largeBeta {
+				largeBeta = b
+			}
+		}
+		smallBeta = largeBeta
+		for b := range byBeta {
+			if b < smallBeta {
+				smallBeta = b
+			}
+		}
+		// Allow small noise: greedy V-Optimal is approximate.
+		if byBeta[largeBeta] > byBeta[smallBeta]+0.05 {
+			t.Errorf("%v: error at β=%d (%.4f) exceeds β=%d (%.4f)",
+				kk, largeBeta, byBeta[largeBeta], smallBeta, byBeta[smallBeta])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/ordering"
+	"repro/internal/paths"
+)
+
+// PlanCell is one ordering method's plan-quality measurement.
+type PlanCell struct {
+	Method string
+	Beta   int
+	// Agreement is the fraction of queries where the histogram-driven
+	// planner picked the same direction as the exact-statistics oracle.
+	Agreement float64
+	// WorkRatio is (total work of chosen plans) / (total work of optimal
+	// plans) — 1.0 means estimation errors never cost any actual work.
+	WorkRatio float64
+}
+
+// PlanQuality is the end-to-end experiment the paper's introduction
+// motivates but does not run: feed each ordering method's histogram
+// estimates into a join-direction planner and measure how often the
+// resulting plans match the exact-statistics oracle, and how much extra
+// work the mistakes cost. Dataset: Moreno Health substitute, length-3
+// queries with non-empty answers.
+func PlanQuality(opt Options) ([]PlanCell, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	g := dataset.Generate(dataset.Table3()[0], opt.Scale, opt.Seed).Freeze()
+	k := 3
+	census := paths.NewCensusParallel(g, k, 0)
+	beta := int(census.Size() / 16)
+	if beta < 2 {
+		beta = 2
+	}
+
+	// Query workload: length-3 paths with non-empty answers (plans for
+	// empty queries are all equally cheap).
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var queries []paths.Path
+	for len(queries) < opt.Queries {
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = rng.Intn(g.NumLabels())
+		}
+		if census.Selectivity(p) > 0 {
+			queries = append(queries, p)
+		}
+	}
+
+	// Oracle work per query and direction, measured once.
+	type workPair struct{ fwd, bwd int64 }
+	works := make([]workPair, len(queries))
+	for i, q := range queries {
+		_, fst := exec.Execute(g, q, exec.Forward)
+		_, bst := exec.Execute(g, q, exec.Backward)
+		works[i] = workPair{fst.Work, bst.Work}
+	}
+	optimal := func(w workPair) int64 {
+		if w.bwd < w.fwd {
+			return w.bwd
+		}
+		return w.fwd
+	}
+
+	var out []PlanCell
+	for _, method := range ordering.PaperMethods() {
+		ord, err := ordering.ForGraph(method, g, k)
+		if err != nil {
+			return nil, err
+		}
+		ph, err := core.Build(census, ord, core.BuilderVOptimal, beta)
+		if err != nil {
+			return nil, err
+		}
+		planner := exec.Planner{Est: exec.EstimatorFunc(ph.Estimate)}
+		oracle := exec.Planner{Est: exec.EstimatorFunc(func(p paths.Path) float64 {
+			return float64(census.Selectivity(p))
+		})}
+		agree := 0
+		var chosenWork, optimalWork int64
+		for i, q := range queries {
+			chosen := planner.Choose(q)
+			if chosen == oracle.Choose(q) {
+				agree++
+			}
+			if chosen == exec.Forward {
+				chosenWork += works[i].fwd
+			} else {
+				chosenWork += works[i].bwd
+			}
+			optimalWork += optimal(works[i])
+		}
+		ratio := 1.0
+		if optimalWork > 0 {
+			ratio = float64(chosenWork) / float64(optimalWork)
+		}
+		out = append(out, PlanCell{
+			Method: method, Beta: beta,
+			Agreement: float64(agree) / float64(len(queries)),
+			WorkRatio: ratio,
+		})
+	}
+	return out, nil
+}
+
+// WritePlanCSV exports a PlanQuality run.
+func WritePlanCSV(w io.Writer, cells []PlanCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "beta", "agreement", "work_ratio"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			c.Method, strconv.Itoa(c.Beta),
+			strconv.FormatFloat(c.Agreement, 'f', 4, 64),
+			strconv.FormatFloat(c.WorkRatio, 'f', 4, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

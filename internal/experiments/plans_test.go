@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ordering"
+)
+
+func TestPlanQuality(t *testing.T) {
+	opt := tinyOptions()
+	opt.Queries = 60
+	cells, err := PlanQuality(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d, want 5", len(cells))
+	}
+	for _, c := range cells {
+		if c.Agreement < 0 || c.Agreement > 1 {
+			t.Fatalf("agreement %v outside [0,1]: %+v", c.Agreement, c)
+		}
+		if c.WorkRatio < 1 {
+			t.Fatalf("work ratio %v below 1 (cannot beat the oracle): %+v", c.WorkRatio, c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePlanCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestPlanQualityEstimatesHelp(t *testing.T) {
+	// Histogram-driven planning must beat random planning: the expected
+	// work ratio of coin-flip direction choice is the midpoint of forward
+	// and backward work over optimal, typically well above any method's
+	// measured ratio. We assert the weaker, robust property that every
+	// ordering method agrees with the oracle on more than half of the
+	// queries at a reasonable budget.
+	opt := Options{
+		Scale: 0.08, Seed: 1, TimingK: 3,
+		AccuracyKs: []int{3}, BetaDenoms: []int{16},
+		Queries: 100, Repeats: 1,
+	}
+	cells, err := PlanQuality(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Agreement <= 0.5 {
+			t.Errorf("%s: oracle agreement %.3f not better than coin flip", c.Method, c.Agreement)
+		}
+	}
+	// And sum-based should not be clearly worse than the field, given its
+	// Figure 2 accuracy edge.
+	var sum, worst float64
+	worst = 2
+	for _, c := range cells {
+		if c.Method == ordering.MethodSumBased {
+			sum = c.WorkRatio
+		} else if c.WorkRatio < worst {
+			worst = c.WorkRatio
+		}
+	}
+	if sum > worst*1.25 {
+		t.Errorf("sum-based work ratio %.3f clearly worse than best rival %.3f", sum, worst)
+	}
+}

@@ -1,0 +1,295 @@
+// Package graph implements the directed edge-labeled multigraph substrate
+// of the reproduction: G = (V, L, E) with E ⊆ V × L × V. It provides a
+// mutable builder, an immutable CSR (compressed sparse row) form with
+// per-label adjacency, and per-label successor bit sets for the exact
+// path-selectivity engine.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Edge is one directed labeled edge (Src --Label--> Dst).
+type Edge struct {
+	Src   int
+	Label int
+	Dst   int
+}
+
+// Graph is a mutable directed edge-labeled graph. Vertices are dense
+// integers [0, NumVertices) and labels are dense integers [0, NumLabels).
+// Duplicate (src, label, dst) triples are ignored: E is a set, matching the
+// paper's definition.
+type Graph struct {
+	numVertices int
+	numLabels   int
+	labelNames  []string
+	edges       map[Edge]struct{}
+}
+
+// New returns an empty graph with the given number of vertices and labels.
+// Labels receive default names "1", "2", … matching the paper's Moreno
+// Health convention; use SetLabelName to override.
+func New(numVertices, numLabels int) *Graph {
+	if numVertices < 0 || numLabels < 0 {
+		panic(fmt.Sprintf("graph: negative size (%d vertices, %d labels)", numVertices, numLabels))
+	}
+	names := make([]string, numLabels)
+	for i := range names {
+		names[i] = fmt.Sprintf("%d", i+1)
+	}
+	return &Graph{
+		numVertices: numVertices,
+		numLabels:   numLabels,
+		labelNames:  names,
+		edges:       make(map[Edge]struct{}),
+	}
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumLabels returns |L|.
+func (g *Graph) NumLabels() int { return g.numLabels }
+
+// NumEdges returns |E| (distinct labeled edges).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// LabelName returns the display name of label l.
+func (g *Graph) LabelName(l int) string {
+	g.checkLabel(l)
+	return g.labelNames[l]
+}
+
+// SetLabelName overrides the display name of label l.
+func (g *Graph) SetLabelName(l int, name string) {
+	g.checkLabel(l)
+	g.labelNames[l] = name
+}
+
+// LabelByName returns the label id with the given display name, or -1.
+func (g *Graph) LabelByName(name string) int {
+	for i, n := range g.labelNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *Graph) checkVertex(v int) {
+	if v < 0 || v >= g.numVertices {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.numVertices))
+	}
+}
+
+func (g *Graph) checkLabel(l int) {
+	if l < 0 || l >= g.numLabels {
+		panic(fmt.Sprintf("graph: label %d out of range [0,%d)", l, g.numLabels))
+	}
+}
+
+// AddEdge inserts the edge (src, label, dst). It reports whether the edge
+// was new. Self-loops are allowed; duplicates are not stored twice.
+func (g *Graph) AddEdge(src, label, dst int) bool {
+	g.checkVertex(src)
+	g.checkVertex(dst)
+	g.checkLabel(label)
+	e := Edge{Src: src, Label: label, Dst: dst}
+	if _, ok := g.edges[e]; ok {
+		return false
+	}
+	g.edges[e] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether (src, label, dst) ∈ E.
+func (g *Graph) HasEdge(src, label, dst int) bool {
+	_, ok := g.edges[Edge{Src: src, Label: label, Dst: dst}]
+	return ok
+}
+
+// Edges returns all edges sorted by (label, src, dst). The slice is a copy.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	return out
+}
+
+// LabelFrequencies returns f(l) for every edge label l: the number of edges
+// carrying that label. This is the length-1 path selectivity used by the
+// cardinality ranking rule.
+func (g *Graph) LabelFrequencies() []int64 {
+	freq := make([]int64, g.numLabels)
+	for e := range g.edges {
+		freq[e.Label]++
+	}
+	return freq
+}
+
+// Freeze converts the graph into its immutable CSR form used by the
+// selectivity engine.
+func (g *Graph) Freeze() *CSR {
+	edges := g.Edges()
+	c := &CSR{
+		numVertices: g.numVertices,
+		numLabels:   g.numLabels,
+		labelNames:  append([]string(nil), g.labelNames...),
+		numEdges:    len(edges),
+		offsets:     make([][]int32, g.numLabels),
+		targets:     make([][]int32, g.numLabels),
+	}
+	for l := 0; l < g.numLabels; l++ {
+		c.offsets[l] = make([]int32, g.numVertices+1)
+	}
+	// Count per (label, src), then prefix-sum into offsets.
+	for _, e := range edges {
+		c.offsets[e.Label][e.Src+1]++
+	}
+	for l := 0; l < g.numLabels; l++ {
+		for v := 0; v < g.numVertices; v++ {
+			c.offsets[l][v+1] += c.offsets[l][v]
+		}
+		c.targets[l] = make([]int32, c.offsets[l][g.numVertices])
+	}
+	fill := make([][]int32, g.numLabels)
+	for l := range fill {
+		fill[l] = make([]int32, g.numVertices)
+	}
+	for _, e := range edges {
+		pos := c.offsets[e.Label][e.Src] + fill[e.Label][e.Src]
+		c.targets[e.Label][pos] = int32(e.Dst)
+		fill[e.Label][e.Src]++
+	}
+	return c
+}
+
+// CSR is the immutable compressed-sparse-row form of a Graph: for each
+// label, a per-source adjacency array. It is safe for concurrent readers.
+type CSR struct {
+	numVertices int
+	numLabels   int
+	numEdges    int
+	labelNames  []string
+
+	// offsets[l][v]..offsets[l][v+1] index targets[l] with the successors
+	// of v via label l, sorted ascending.
+	offsets [][]int32
+	targets [][]int32
+
+	// succ[l][v] is built lazily by SuccessorSets; pred[l][v] by
+	// PredecessorSets.
+	succ [][]*bitset.Set
+	pred [][]*bitset.Set
+}
+
+// NumVertices returns |V|.
+func (c *CSR) NumVertices() int { return c.numVertices }
+
+// NumLabels returns |L|.
+func (c *CSR) NumLabels() int { return c.numLabels }
+
+// NumEdges returns |E|.
+func (c *CSR) NumEdges() int { return c.numEdges }
+
+// LabelName returns the display name of label l.
+func (c *CSR) LabelName(l int) string { return c.labelNames[l] }
+
+// Successors returns the sorted successor vertices of v via label l. The
+// returned slice aliases internal storage and must not be modified.
+func (c *CSR) Successors(v, l int) []int32 {
+	return c.targets[l][c.offsets[l][v]:c.offsets[l][v+1]]
+}
+
+// OutDegree returns the number of out-edges of v with label l.
+func (c *CSR) OutDegree(v, l int) int {
+	return int(c.offsets[l][v+1] - c.offsets[l][v])
+}
+
+// LabelFrequencies returns f(l) for every edge label.
+func (c *CSR) LabelFrequencies() []int64 {
+	freq := make([]int64, c.numLabels)
+	for l := 0; l < c.numLabels; l++ {
+		freq[l] = int64(len(c.targets[l]))
+	}
+	return freq
+}
+
+// SuccessorSets returns, for label l, a per-vertex successor bit set table
+// suitable for bitset.Relation.Compose. Rows for vertices with no
+// successors are nil. The table is built once per label and cached; it is
+// safe to call repeatedly but not concurrently with the first call per
+// label.
+func (c *CSR) SuccessorSets(l int) []*bitset.Set {
+	if c.succ == nil {
+		c.succ = make([][]*bitset.Set, c.numLabels)
+	}
+	if c.succ[l] != nil {
+		return c.succ[l]
+	}
+	tab := make([]*bitset.Set, c.numVertices)
+	for v := 0; v < c.numVertices; v++ {
+		ts := c.Successors(v, l)
+		if len(ts) == 0 {
+			continue
+		}
+		s := bitset.New(c.numVertices)
+		for _, t := range ts {
+			s.Add(int(t))
+		}
+		tab[v] = s
+	}
+	c.succ[l] = tab
+	return tab
+}
+
+// PredecessorSets returns, for label l, a per-vertex predecessor bit set
+// table: pred[v] contains every u with (u, l, v) ∈ E. Used by backward
+// (right-to-left) path evaluation. Built once per label and cached, with
+// the same concurrency caveat as SuccessorSets.
+func (c *CSR) PredecessorSets(l int) []*bitset.Set {
+	if c.pred == nil {
+		c.pred = make([][]*bitset.Set, c.numLabels)
+	}
+	if c.pred[l] != nil {
+		return c.pred[l]
+	}
+	tab := make([]*bitset.Set, c.numVertices)
+	for v := 0; v < c.numVertices; v++ {
+		for _, t := range c.Successors(v, l) {
+			if tab[t] == nil {
+				tab[t] = bitset.New(c.numVertices)
+			}
+			tab[t].Add(v)
+		}
+	}
+	c.pred[l] = tab
+	return tab
+}
+
+// EdgeRelation returns label l's edge set as a bitset.Relation (the set of
+// pairs (s, t) with (s, l, t) ∈ E). This is the length-1 path relation.
+func (c *CSR) EdgeRelation(l int) *bitset.Relation {
+	r := bitset.NewRelation(c.numVertices)
+	for v := 0; v < c.numVertices; v++ {
+		for _, t := range c.Successors(v, l) {
+			r.Add(v, int(t))
+		}
+	}
+	return r
+}

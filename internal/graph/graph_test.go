@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewGraph(t *testing.T) {
+	g := New(5, 3)
+	if g.NumVertices() != 5 || g.NumLabels() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("unexpected sizes: %d/%d/%d", g.NumVertices(), g.NumLabels(), g.NumEdges())
+	}
+	if g.LabelName(0) != "1" || g.LabelName(2) != "3" {
+		t.Fatal("default label names should be 1-based integers")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) should panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3, 2)
+	if !g.AddEdge(0, 1, 2) {
+		t.Fatal("first AddEdge should report new")
+	}
+	if g.AddEdge(0, 1, 2) {
+		t.Fatal("duplicate AddEdge should report false")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1, 2) || g.HasEdge(2, 1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	// Self-loop allowed.
+	if !g.AddEdge(1, 0, 1) {
+		t.Fatal("self-loop should be accepted")
+	}
+	// Same endpoints, different label is a distinct edge.
+	if !g.AddEdge(0, 0, 2) {
+		t.Fatal("same endpoints different label should be new")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3, 2)
+	for name, fn := range map[string]func(){
+		"bad src":   func() { g.AddEdge(3, 0, 0) },
+		"bad dst":   func() { g.AddEdge(0, 0, -1) },
+		"bad label": func() { g.AddEdge(0, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabelNames(t *testing.T) {
+	g := New(2, 2)
+	g.SetLabelName(0, "knows")
+	if g.LabelName(0) != "knows" {
+		t.Fatal("SetLabelName did not stick")
+	}
+	if g.LabelByName("knows") != 0 {
+		t.Fatal("LabelByName(knows) != 0")
+	}
+	if g.LabelByName("missing") != -1 {
+		t.Fatal("LabelByName(missing) != -1")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4, 2)
+	g.AddEdge(3, 1, 0)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 0, 0)
+	g.AddEdge(2, 1, 3)
+	es := g.Edges()
+	want := []Edge{{0, 0, 0}, {0, 0, 1}, {2, 1, 3}, {3, 1, 0}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges() len = %d", len(es))
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestLabelFrequencies(t *testing.T) {
+	g := New(4, 3)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(2, 2, 3)
+	freq := g.LabelFrequencies()
+	if freq[0] != 2 || freq[1] != 0 || freq[2] != 1 {
+		t.Fatalf("LabelFrequencies = %v", freq)
+	}
+}
+
+func TestFreezeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New(50, 4)
+	type key struct{ s, l, d int }
+	want := map[key]bool{}
+	for i := 0; i < 300; i++ {
+		s, l, d := rng.Intn(50), rng.Intn(4), rng.Intn(50)
+		g.AddEdge(s, l, d)
+		want[key{s, l, d}] = true
+	}
+	c := g.Freeze()
+	if c.NumVertices() != 50 || c.NumLabels() != 4 || c.NumEdges() != len(want) {
+		t.Fatalf("CSR sizes wrong: %d/%d/%d", c.NumVertices(), c.NumLabels(), c.NumEdges())
+	}
+	got := map[key]bool{}
+	for l := 0; l < 4; l++ {
+		for v := 0; v < 50; v++ {
+			succ := c.Successors(v, l)
+			for i, tgt := range succ {
+				if i > 0 && succ[i-1] > tgt {
+					t.Fatalf("successors of (%d,%d) not sorted: %v", v, l, succ)
+				}
+				got[key{v, l, int(tgt)}] = true
+			}
+			if c.OutDegree(v, l) != len(succ) {
+				t.Fatal("OutDegree mismatch")
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CSR has %d edges, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing edge %v in CSR", k)
+		}
+	}
+}
+
+func TestFreezeEmptyGraph(t *testing.T) {
+	c := New(3, 2).Freeze()
+	if c.NumEdges() != 0 {
+		t.Fatal("empty graph should freeze to empty CSR")
+	}
+	if len(c.Successors(0, 0)) != 0 {
+		t.Fatal("no successors expected")
+	}
+}
+
+func TestCSRLabelFrequencies(t *testing.T) {
+	g := New(4, 2)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(0, 1, 3)
+	c := g.Freeze()
+	freq := c.LabelFrequencies()
+	if freq[0] != 2 || freq[1] != 1 {
+		t.Fatalf("CSR LabelFrequencies = %v", freq)
+	}
+	if c.LabelName(1) != "2" {
+		t.Fatal("CSR should preserve label names")
+	}
+}
+
+func TestSuccessorSets(t *testing.T) {
+	g := New(4, 2)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 0, 2)
+	g.AddEdge(3, 0, 0)
+	c := g.Freeze()
+	tab := c.SuccessorSets(0)
+	if tab[0] == nil || tab[0].Count() != 2 || !tab[0].Contains(1) || !tab[0].Contains(2) {
+		t.Fatalf("succ[0] wrong: %v", tab[0])
+	}
+	if tab[1] != nil || tab[2] != nil {
+		t.Fatal("vertices without successors should have nil sets")
+	}
+	if tab[3] == nil || !tab[3].Contains(0) {
+		t.Fatal("succ[3] wrong")
+	}
+	// Cached: same slice on second call.
+	if &c.SuccessorSets(0)[0] != &tab[0] {
+		t.Fatal("SuccessorSets should be cached")
+	}
+}
+
+func TestPredecessorSets(t *testing.T) {
+	g := New(4, 2)
+	g.AddEdge(0, 0, 2)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(3, 0, 0)
+	c := g.Freeze()
+	tab := c.PredecessorSets(0)
+	if tab[2] == nil || tab[2].Count() != 2 || !tab[2].Contains(0) || !tab[2].Contains(1) {
+		t.Fatalf("pred[2] wrong: %v", tab[2])
+	}
+	if tab[0] == nil || !tab[0].Contains(3) {
+		t.Fatal("pred[0] wrong")
+	}
+	if tab[1] != nil || tab[3] != nil {
+		t.Fatal("vertices without predecessors should have nil sets")
+	}
+	// Cached on second call.
+	if &c.PredecessorSets(0)[0] != &tab[0] {
+		t.Fatal("PredecessorSets should be cached")
+	}
+	// Predecessors must mirror successors exactly.
+	for l := 0; l < 2; l++ {
+		pred := c.PredecessorSets(l)
+		for v := 0; v < 4; v++ {
+			for _, tgt := range c.Successors(v, l) {
+				if pred[tgt] == nil || !pred[tgt].Contains(v) {
+					t.Fatalf("edge (%d,%d,%d) missing from predecessor sets", v, l, tgt)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeRelation(t *testing.T) {
+	g := New(4, 2)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 1, 2)
+	c := g.Freeze()
+	r := c.EdgeRelation(1)
+	if r.Pairs() != 2 || !r.Contains(0, 3) || !r.Contains(2, 2) {
+		t.Fatal("EdgeRelation wrong")
+	}
+	if c.EdgeRelation(0).Pairs() != 0 {
+		t.Fatal("label 0 relation should be empty")
+	}
+}

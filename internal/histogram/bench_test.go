@@ -1,0 +1,82 @@
+package histogram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchData synthesizes a skewed frequency vector of n positions,
+// resembling a label-path census distribution.
+func benchData(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]int64, n)
+	for i := range data {
+		if rng.Intn(8) == 0 {
+			data[i] = int64(rng.Intn(10000))
+		} else {
+			data[i] = int64(rng.Intn(50))
+		}
+	}
+	return data
+}
+
+func BenchmarkBuilders(b *testing.B) {
+	builders := []struct {
+		name  string
+		build func([]int64, int) *Histogram
+	}{
+		{"equi-width", EquiWidth},
+		{"equi-depth", EquiDepth},
+		{"max-diff", MaxDiff},
+		{"v-optimal", VOptimal},
+	}
+	for _, n := range []int{1000, 10000, 55986} {
+		data := benchData(n, int64(n))
+		beta := n / 64
+		for _, bl := range builders {
+			b.Run(fmt.Sprintf("%s/N=%d", bl.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					h := bl.build(data, beta)
+					if h.Buckets() == 0 {
+						b.Fatal("no buckets")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkVOptimalDP(b *testing.B) {
+	// The exact DP is O(N²β); bench at the scale it is actually used
+	// (validation-sized domains).
+	data := benchData(400, 1)
+	b.Run("N=400/beta=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = VOptimalDP(data, 16)
+		}
+	})
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	data := benchData(55986, 2)
+	for _, beta := range []int{437, 6998, 27993} {
+		h := VOptimal(data, beta)
+		b.Run(fmt.Sprintf("beta=%d", beta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = h.Estimate(int64(i) % h.DomainSize())
+			}
+		})
+	}
+}
+
+func BenchmarkEstimateRange(b *testing.B) {
+	data := benchData(55986, 3)
+	h := VOptimal(data, 1749)
+	n := h.DomainSize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i) % (n / 2)
+		_ = h.EstimateRange(lo, lo+n/4)
+	}
+}

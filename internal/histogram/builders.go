@@ -1,0 +1,198 @@
+package histogram
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// EquiWidth builds a histogram whose buckets span (near-)equal numbers of
+// domain positions — the classic baseline shown in the paper's Figure 1.
+func EquiWidth(data []int64, beta int) *Histogram {
+	validate(data, beta)
+	n := int64(len(data))
+	beta = clampBeta(beta, len(data))
+	starts := make([]int64, 0, beta)
+	for i := 0; i < beta; i++ {
+		starts = append(starts, int64(i)*n/int64(beta))
+	}
+	return fromBoundaries("equi-width", data, dedupe(starts))
+}
+
+// EquiDepth builds a histogram whose buckets hold (near-)equal total
+// frequency mass.
+func EquiDepth(data []int64, beta int) *Histogram {
+	validate(data, beta)
+	beta = clampBeta(beta, len(data))
+	p := newPrefixes(data)
+	n := int64(len(data))
+	total := p.rangeSum(0, n)
+	starts := []int64{0}
+	for b := 1; b < beta; b++ {
+		target := total * int64(b) / int64(beta)
+		// First position whose cumulative mass exceeds the target.
+		lo := sort.Search(len(data), func(i int) bool { return p.sum[i+1] > target })
+		starts = append(starts, int64(lo))
+	}
+	return fromBoundaries("equi-depth", data, dedupe(starts))
+}
+
+// MaxDiff places bucket boundaries at the β−1 largest adjacent differences
+// |data[i] − data[i−1]| in the (ordered) distribution.
+func MaxDiff(data []int64, beta int) *Histogram {
+	validate(data, beta)
+	beta = clampBeta(beta, len(data))
+	type gap struct {
+		pos  int64
+		size int64
+	}
+	gaps := make([]gap, 0, len(data)-1)
+	for i := 1; i < len(data); i++ {
+		d := data[i] - data[i-1]
+		if d < 0 {
+			d = -d
+		}
+		gaps = append(gaps, gap{pos: int64(i), size: d})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].size != gaps[j].size {
+			return gaps[i].size > gaps[j].size
+		}
+		return gaps[i].pos < gaps[j].pos
+	})
+	starts := []int64{0}
+	for i := 0; i < beta-1 && i < len(gaps); i++ {
+		starts = append(starts, gaps[i].pos)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return fromBoundaries("max-diff", data, dedupe(starts))
+}
+
+// VOptimalDP builds the exact V-Optimal histogram — the β-bucket partition
+// minimizing total within-bucket SSE — with the Jagadish et al. dynamic
+// program. O(N²·β) time, O(N·β) space: use for modest domains and as the
+// quality reference for VOptimal.
+func VOptimalDP(data []int64, beta int) *Histogram {
+	validate(data, beta)
+	n := len(data)
+	beta = clampBeta(beta, n)
+	p := newPrefixes(data)
+
+	// cost[j][i] = minimal SSE of data[0:i] with exactly j buckets; i ≥ j.
+	// choice[j][i] = start of the last bucket in that optimum.
+	cost := make([][]float64, beta+1)
+	choice := make([][]int32, beta+1)
+	for j := range cost {
+		cost[j] = make([]float64, n+1)
+		choice[j] = make([]int32, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		cost[1][i] = p.rangeSSE(0, int64(i))
+	}
+	for j := 2; j <= beta; j++ {
+		for i := j; i <= n; i++ {
+			best, bestL := -1.0, -1
+			for l := j - 1; l < i; l++ {
+				c := cost[j-1][l] + p.rangeSSE(int64(l), int64(i))
+				if bestL < 0 || c < best {
+					best, bestL = c, l
+				}
+			}
+			cost[j][i], choice[j][i] = best, int32(bestL)
+		}
+	}
+	// Recover boundaries.
+	starts := make([]int64, beta)
+	i := n
+	for j := beta; j >= 2; j-- {
+		l := int(choice[j][i])
+		starts[j-1] = int64(l)
+		i = l
+	}
+	starts[0] = 0
+	return fromBoundaries("v-optimal-dp", data, dedupe(starts))
+}
+
+// splitItem is a heap entry: the best split of one current bucket.
+type splitItem struct {
+	lo, hi    int64
+	splitAt   int64
+	reduction float64
+}
+
+type splitHeap []splitItem
+
+func (h splitHeap) Len() int            { return len(h) }
+func (h splitHeap) Less(i, j int) bool  { return h[i].reduction > h[j].reduction }
+func (h splitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *splitHeap) Push(x interface{}) { *h = append(*h, x.(splitItem)) }
+func (h *splitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// bestSplit scans bucket [lo, hi) for the split point minimizing the sum
+// of the two halves' SSEs.
+func bestSplit(p *prefixes, lo, hi int64) splitItem {
+	whole := p.rangeSSE(lo, hi)
+	best := splitItem{lo: lo, hi: hi, splitAt: -1}
+	for s := lo + 1; s < hi; s++ {
+		after := p.rangeSSE(lo, s) + p.rangeSSE(s, hi)
+		red := whole - after
+		if best.splitAt < 0 || red > best.reduction {
+			best.splitAt, best.reduction = s, red
+		}
+	}
+	return best
+}
+
+// VOptimal builds an approximate V-Optimal histogram by greedy top-down
+// splitting: starting from one bucket, repeatedly split the bucket whose
+// best split yields the largest SSE reduction, until β buckets exist.
+// Zero-reduction splits (flat data) still proceed, so the result always
+// has min(β, N) buckets, matching the paper's bucket-count sweeps.
+//
+// Runtime is O(N log β) amortized for balanced splits (worst case O(N·β)),
+// which is what makes the paper-scale domains (N ≈ 56 000, β up to N/2)
+// tractable; VOptimalDP is the exact reference. Tests bound the greedy
+// SSE against the DP optimum on small inputs.
+func VOptimal(data []int64, beta int) *Histogram {
+	validate(data, beta)
+	beta = clampBeta(beta, len(data))
+	p := newPrefixes(data)
+	n := int64(len(data))
+
+	h := &splitHeap{}
+	heap.Init(h)
+	if first := bestSplit(p, 0, n); first.splitAt >= 0 {
+		heap.Push(h, first)
+	}
+	starts := []int64{0}
+	for len(starts) < beta && h.Len() > 0 {
+		it := heap.Pop(h).(splitItem)
+		starts = append(starts, it.splitAt)
+		if left := bestSplit(p, it.lo, it.splitAt); left.splitAt >= 0 {
+			heap.Push(h, left)
+		}
+		if right := bestSplit(p, it.splitAt, it.hi); right.splitAt >= 0 {
+			heap.Push(h, right)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return fromBoundaries("v-optimal", data, dedupe(starts))
+}
+
+// dedupe sorts and removes duplicate boundary starts (duplicates arise on
+// degenerate inputs, e.g. more buckets than mass positions in EquiDepth).
+func dedupe(starts []int64) []int64 {
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := starts[:0]
+	for i, s := range starts {
+		if i == 0 || s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

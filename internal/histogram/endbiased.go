@@ -1,0 +1,64 @@
+package histogram
+
+import "sort"
+
+// EndBiased is an end-biased synopsis: the β−1 highest-frequency domain
+// positions are stored exactly (singleton "buckets") and all remaining
+// positions share one average. Unlike serial histograms its buckets are
+// not contiguous, so it is a separate Estimator rather than a Histogram.
+// It serves as an ablation baseline: it is insensitive to domain ordering,
+// so comparing it against V-Optimal isolates how much of the accuracy win
+// comes from ordering at all.
+type EndBiased struct {
+	exact    map[int64]int64
+	restMean float64
+	n        int64
+}
+
+// NewEndBiased builds an end-biased synopsis with beta total buckets
+// (beta−1 singletons plus the catch-all).
+func NewEndBiased(data []int64, beta int) *EndBiased {
+	validate(data, beta)
+	type pv struct {
+		pos int64
+		val int64
+	}
+	items := make([]pv, len(data))
+	for i, v := range data {
+		items[i] = pv{int64(i), v}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].val != items[j].val {
+			return items[i].val > items[j].val
+		}
+		return items[i].pos < items[j].pos
+	})
+	k := beta - 1
+	if k > len(items) {
+		k = len(items)
+	}
+	e := &EndBiased{exact: make(map[int64]int64, k), n: int64(len(data))}
+	var restSum int64
+	for i, it := range items {
+		if i < k {
+			e.exact[it.pos] = it.val
+		} else {
+			restSum += it.val
+		}
+	}
+	if rest := len(items) - k; rest > 0 {
+		e.restMean = float64(restSum) / float64(rest)
+	}
+	return e
+}
+
+// Estimate implements Estimator.
+func (e *EndBiased) Estimate(idx int64) float64 {
+	if v, ok := e.exact[idx]; ok {
+		return float64(v)
+	}
+	return e.restMean
+}
+
+// Buckets implements Estimator.
+func (e *EndBiased) Buckets() int { return len(e.exact) + 1 }

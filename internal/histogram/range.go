@@ -1,0 +1,37 @@
+package histogram
+
+import "fmt"
+
+// EstimateRange answers a range query: the estimated total frequency over
+// the domain interval [lo, hi). Fully covered buckets contribute their
+// exact stored sums; the two edge buckets contribute their mean times the
+// overlap width (the uniform-within-bucket assumption, as for point
+// queries). EstimateRange(0, N) is exact.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if lo < 0 || hi > h.n || lo > hi {
+		panic(fmt.Sprintf("histogram: range [%d,%d) outside domain [0,%d)", lo, hi, h.n))
+	}
+	if lo == hi {
+		return 0
+	}
+	var total float64
+	for i := h.Find(lo); i < len(h.buckets); i++ {
+		b := h.buckets[i]
+		if b.Lo >= hi {
+			break
+		}
+		from, to := b.Lo, b.Hi
+		if lo > from {
+			from = lo
+		}
+		if hi < to {
+			to = hi
+		}
+		if from == b.Lo && to == b.Hi {
+			total += float64(b.Sum)
+		} else {
+			total += b.Mean() * float64(to-from)
+		}
+	}
+	return total
+}

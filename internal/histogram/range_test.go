@@ -1,0 +1,96 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateRangeExactOnBucketBoundaries(t *testing.T) {
+	data := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	h := EquiWidth(data, 4) // buckets [0,2) [2,4) [4,6) [6,8)
+	// Whole domain is always exact.
+	if got := h.EstimateRange(0, 8); got != 36 {
+		t.Fatalf("EstimateRange(0,8) = %v, want 36", got)
+	}
+	// Bucket-aligned ranges are exact.
+	if got := h.EstimateRange(2, 6); got != 3+4+5+6 {
+		t.Fatalf("EstimateRange(2,6) = %v, want 18", got)
+	}
+	if got := h.EstimateRange(0, 2); got != 3 {
+		t.Fatalf("EstimateRange(0,2) = %v, want 3", got)
+	}
+}
+
+func TestEstimateRangePartialBuckets(t *testing.T) {
+	data := []int64{10, 20, 30, 40}
+	h := EquiWidth(data, 2) // [0,2) sum 30, [2,4) sum 70
+	// [1,3): half of bucket 0 (mean 15) + half of bucket 1 (mean 35).
+	if got := h.EstimateRange(1, 3); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("EstimateRange(1,3) = %v, want 50", got)
+	}
+	// Range inside one bucket.
+	if got := h.EstimateRange(2, 3); math.Abs(got-35) > 1e-9 {
+		t.Fatalf("EstimateRange(2,3) = %v, want 35", got)
+	}
+}
+
+func TestEstimateRangeEmptyAndPanics(t *testing.T) {
+	h := EquiWidth([]int64{1, 2, 3}, 2)
+	if got := h.EstimateRange(1, 1); got != 0 {
+		t.Fatalf("empty range = %v, want 0", got)
+	}
+	for name, fn := range map[string]func(){
+		"lo<0":  func() { h.EstimateRange(-1, 2) },
+		"hi>n":  func() { h.EstimateRange(0, 4) },
+		"lo>hi": func() { h.EstimateRange(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEstimateRangeConsistentWithPoints(t *testing.T) {
+	// A range estimate must equal the sum of its point estimates (both are
+	// bucket means under the uniform assumption).
+	rng := rand.New(rand.NewSource(8))
+	data := make([]int64, 97)
+	for i := range data {
+		data[i] = int64(rng.Intn(50))
+	}
+	for _, h := range []*Histogram{VOptimal(data, 7), EquiDepth(data, 7), MaxDiff(data, 7)} {
+		for trial := 0; trial < 50; trial++ {
+			lo := int64(rng.Intn(len(data)))
+			hi := lo + int64(rng.Intn(len(data)-int(lo)+1))
+			var want float64
+			for i := lo; i < hi; i++ {
+				want += h.Estimate(i)
+			}
+			if got := h.EstimateRange(lo, hi); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%s: EstimateRange(%d,%d) = %v, point-sum %v", h.Kind(), lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimateRangeFullDomainAlwaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]int64, 64)
+	var total float64
+	for i := range data {
+		data[i] = int64(rng.Intn(100))
+		total += float64(data[i])
+	}
+	for _, beta := range []int{1, 3, 16, 64} {
+		h := VOptimal(data, beta)
+		if got := h.EstimateRange(0, 64); math.Abs(got-total) > 1e-6 {
+			t.Fatalf("β=%d: full-domain range %v, want %v", beta, got, total)
+		}
+	}
+}

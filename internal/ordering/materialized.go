@@ -1,0 +1,90 @@
+package ordering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/paths"
+)
+
+// Materialized is an ordering defined by an explicit permutation of the
+// canonical domain. It is the framework's extension point for ordering
+// strategies whose index function cannot be computed positionally — at the
+// cost the paper highlights: O(|Lk|) memory, the same budget that would
+// store the exact selectivities outright.
+type Materialized struct {
+	name      string
+	numLabels int
+	k         int
+	// toDomain[canonicalIndex] = domain position; fromDomain is inverse.
+	toDomain   []int64
+	fromDomain []int64
+}
+
+// NewMaterialized builds an ordering from a key function: paths are sorted
+// by ascending key, ties broken by canonical index so the result is a
+// bijection. size must be Σ_{i=1..k} |L|^i (callers usually have a Census
+// or another Ordering to take it from).
+func NewMaterialized(name string, numLabels, k int, key func(canonicalIdx int64) int64) *Materialized {
+	size := int64(0)
+	block := int64(1)
+	for i := 0; i < k; i++ {
+		block *= int64(numLabels)
+		size += block
+	}
+	order := make([]int64, size)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	m := &Materialized{
+		name:       name,
+		numLabels:  numLabels,
+		k:          k,
+		toDomain:   make([]int64, size),
+		fromDomain: order,
+	}
+	for pos, can := range order {
+		m.toDomain[can] = int64(pos)
+	}
+	return m
+}
+
+// NewIdeal builds the paper's "ideal ordering": paths sorted by their
+// exact selectivity. It is impractical as a real strategy (§3: the index
+// table costs as much memory as storing the exact answer) but serves as
+// the accuracy upper bound against which practical orderings are judged.
+func NewIdeal(c *paths.Census) *Materialized {
+	return NewMaterialized("ideal", c.NumLabels(), c.K(), c.AtCanonical)
+}
+
+// Name implements Ordering.
+func (m *Materialized) Name() string { return m.name }
+
+// NumLabels implements Ordering.
+func (m *Materialized) NumLabels() int { return m.numLabels }
+
+// K implements Ordering.
+func (m *Materialized) K() int { return m.k }
+
+// Size implements Ordering.
+func (m *Materialized) Size() int64 { return int64(len(m.toDomain)) }
+
+// Index implements Ordering.
+func (m *Materialized) Index(p paths.Path) int64 {
+	return m.toDomain[paths.CanonicalIndex(p, m.numLabels, m.k)]
+}
+
+// Path implements Ordering.
+func (m *Materialized) Path(idx int64) paths.Path {
+	if idx < 0 || idx >= m.Size() {
+		panic(fmt.Sprintf("ordering: index %d out of range [0,%d)", idx, m.Size()))
+	}
+	return paths.FromCanonicalIndex(m.fromDomain[idx], m.numLabels, m.k)
+}

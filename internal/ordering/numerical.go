@@ -1,0 +1,60 @@
+package ordering
+
+import (
+	"repro/internal/combinat"
+	"repro/internal/paths"
+)
+
+// Numerical is the paper's numerical ordering rule (§3.2): paths are
+// compared by length first (shorter before longer), then positionally by
+// label rank. Equivalently, a length-m path is the m-digit number whose
+// digits are (rank−1) in a base-|L| numeral system, offset by the count of
+// all shorter paths. Both directions run in O(k).
+type Numerical struct {
+	common
+	name string
+}
+
+// NewNumerical builds the numerical ordering rule over the given ranking.
+func NewNumerical(rank *Ranking, k int) *Numerical {
+	return &Numerical{common: newCommon(rank, k), name: "num-" + rank.Name()}
+}
+
+// Name implements Ordering.
+func (o *Numerical) Name() string { return o.name }
+
+// Index implements Ordering.
+func (o *Numerical) Index(p paths.Path) int64 {
+	o.checkPath(p)
+	base := int64(o.rank.NumLabels())
+	var offset int64
+	for i := 1; i < len(p); i++ {
+		offset += combinat.Pow(base, int64(i))
+	}
+	var val int64
+	for _, l := range p {
+		val = val*base + (o.rank.Rank(l) - 1)
+	}
+	return offset + val
+}
+
+// Path implements Ordering.
+func (o *Numerical) Path(idx int64) paths.Path {
+	o.checkIndex(idx)
+	base := int64(o.rank.NumLabels())
+	length := 1
+	for {
+		block := combinat.Pow(base, int64(length))
+		if idx < block {
+			break
+		}
+		idx -= block
+		length++
+	}
+	p := make(paths.Path, length)
+	for i := length - 1; i >= 0; i-- {
+		p[i] = o.rank.Label(idx%base + 1)
+		idx /= base
+	}
+	return p
+}

@@ -1,0 +1,133 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paths"
+)
+
+// randomRanking builds a random permutation ranking over numLabels labels.
+func randomRanking(rng *rand.Rand, numLabels int) *Ranking {
+	order := rng.Perm(numLabels)
+	r, err := RankingFromOrder("rnd", order)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestQuickOrderingRoundTrips drives randomized round-trip checks at
+// configurations too large for the exhaustive bijection test (|L| up to
+// 16, k up to 6): Path(Index(p)) == p for random paths, and
+// Index(Path(i)) == i for random indexes.
+func TestQuickOrderingRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rng,
+		Values:   nil,
+	}
+	makeOrds := func(numLabels, k int) []Ordering {
+		rank := randomRanking(rng, numLabels)
+		return []Ordering{
+			NewNumerical(rank, k),
+			NewLexicographic(rank, k),
+			NewSumBased(rank, k),
+		}
+	}
+	for _, c := range []struct{ l, k int }{{8, 4}, {12, 5}, {16, 6}} {
+		for _, ord := range makeOrds(c.l, c.k) {
+			ord := ord
+			pathRoundTrip := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				n := 1 + r.Intn(ord.K())
+				p := make(paths.Path, n)
+				for i := range p {
+					p[i] = r.Intn(ord.NumLabels())
+				}
+				return ord.Path(ord.Index(p)).Equal(p)
+			}
+			if err := quick.Check(pathRoundTrip, cfg); err != nil {
+				t.Fatalf("%s (L=%d,k=%d): path round trip: %v", ord.Name(), c.l, c.k, err)
+			}
+			idxRoundTrip := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				idx := r.Int63n(ord.Size())
+				return ord.Index(ord.Path(idx)) == idx
+			}
+			if err := quick.Check(idxRoundTrip, cfg); err != nil {
+				t.Fatalf("%s (L=%d,k=%d): index round trip: %v", ord.Name(), c.l, c.k, err)
+			}
+		}
+	}
+}
+
+// TestQuickSumBasedSumMonotone checks on large random configurations that
+// sum-based ordering never places a higher summed rank before a lower one
+// within a length class.
+func TestQuickSumBasedSumMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 20; trial++ {
+		numLabels := 2 + rng.Intn(14)
+		k := 2 + rng.Intn(4)
+		rank := randomRanking(rng, numLabels)
+		ord := NewSumBased(rank, k)
+		sumOf := func(p paths.Path) int64 {
+			var s int64
+			for _, l := range p {
+				s += rank.Rank(l)
+			}
+			return s
+		}
+		// Sample ordered index pairs.
+		for i := 0; i < 200; i++ {
+			a := rng.Int63n(ord.Size())
+			b := rng.Int63n(ord.Size())
+			if a > b {
+				a, b = b, a
+			}
+			pa, pb := ord.Path(a), ord.Path(b)
+			if len(pa) > len(pb) {
+				t.Fatalf("length not monotone: idx %d len %d before idx %d len %d",
+					a, len(pa), b, len(pb))
+			}
+			if len(pa) == len(pb) && sumOf(pa) > sumOf(pb) {
+				t.Fatalf("summed rank not monotone within length class: %v (sum %d) before %v (sum %d)",
+					pa, sumOf(pa), pb, sumOf(pb))
+			}
+		}
+	}
+}
+
+// TestQuickLexAgreesWithStringOrder cross-checks the lexicographic index
+// against direct string comparison of rank sequences (with the prefix-
+// first convention of Table 2).
+func TestQuickLexAgreesWithStringOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 20; trial++ {
+		numLabels := 2 + rng.Intn(10)
+		k := 2 + rng.Intn(4)
+		rank := randomRanking(rng, numLabels)
+		ord := NewLexicographic(rank, k)
+		key := func(p paths.Path) string {
+			// Rank sequence as a byte string: prefix-first order is exactly
+			// byte-wise comparison of these keys.
+			b := make([]byte, len(p))
+			for i, l := range p {
+				b[i] = byte(rank.Rank(l))
+			}
+			return string(b)
+		}
+		for i := 0; i < 300; i++ {
+			a := rng.Int63n(ord.Size())
+			b := rng.Int63n(ord.Size())
+			pa, pb := ord.Path(a), ord.Path(b)
+			if (a < b) != (key(pa) < key(pb)) && a != b {
+				t.Fatalf("lex order disagrees with string order: idx %d (%v) vs %d (%v)",
+					a, pa, b, pb)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package ordering
+
+import (
+	"repro/internal/combinat"
+	"repro/internal/paths"
+)
+
+// SumBased is the paper's sum-based ordering rule (§3.3): the domain is
+// partitioned in three stages —
+//
+//  1. by path length (shorter first), each stage-one partition holding
+//     |L|^m positions;
+//  2. within a length, by the summed rank sr = Σ rank(l_i) (lower sums
+//     first), each stage-two partition holding dist(sr, m, |L|) positions
+//     (Eq. 3, inclusion–exclusion over bounded compositions);
+//  3. within a (length, sum) group, by the integer partition (combination)
+//     of sr into m parts ≤ |L| in Formula-4 enumeration order, each
+//     holding nop (Eq. 5) positions, and finally by the ascending
+//     lexicographic rank of the path's rank-permutation within its
+//     combination (Algorithm 1).
+//
+// With cardinality ranking, summed rank approximates path cardinality, so
+// paths of similar selectivity land near each other — the property that
+// shrinks intra-bucket variance.
+//
+// The stage layout depends only on (k, |L|), so the constructor
+// precomputes the stage boundaries and per-group combination tables once —
+// O(k²·|L|·P) memory where P is the number of bounded partitions, far
+// below the O(|Lk|) the paper rules out. Index then costs one group
+// lookup, one combination scan, and one permutation ranking (Algorithm 1
+// inverse); Path is Algorithm 2 driven by the same tables.
+type SumBased struct {
+	common
+	// stage1[m-1] = domain offset of the length-m block.
+	stage1 []int64
+	// groups[m-1][sr-m] describes the (m, sr) stage-two group.
+	groups [][]sumGroup
+}
+
+// sumGroup is one stage-two partition: its absolute domain offset and its
+// stage-three combinations in Formula-4 order.
+type sumGroup struct {
+	offset int64
+	parts  []partEntry
+}
+
+// partEntry is one stage-three combination: the ascending parts, its
+// permutation count (Eq. 5), and the cumulative permutation count of the
+// combinations preceding it within the group.
+type partEntry struct {
+	parts []int64
+	nop   int64
+	cum   int64
+}
+
+// NewSumBased builds the sum-based ordering rule over the given ranking.
+// The paper always pairs it with cardinality ranking, but any ranking is
+// accepted (IdentityRanking is useful in tests).
+func NewSumBased(rank *Ranking, k int) *SumBased {
+	o := &SumBased{common: newCommon(rank, k)}
+	base := int64(rank.NumLabels())
+	o.stage1 = make([]int64, k)
+	o.groups = make([][]sumGroup, k)
+	var offset int64
+	for m := int64(1); m <= int64(k); m++ {
+		o.stage1[m-1] = offset
+		groups := make([]sumGroup, 0, m*base-m+1)
+		for sr := m; sr <= m*base; sr++ {
+			g := sumGroup{offset: offset}
+			var cum int64
+			combinat.Partitions(sr, m, base, func(parts []int64) bool {
+				cp := make([]int64, len(parts))
+				copy(cp, parts)
+				n := combinat.NumPermutations(cp)
+				g.parts = append(g.parts, partEntry{parts: cp, nop: n, cum: cum})
+				cum += n
+				return true
+			})
+			offset += cum // cum == dist(sr, m, base) by the tiling property
+			groups = append(groups, g)
+		}
+		o.groups[m-1] = groups
+	}
+	return o
+}
+
+// Name implements Ordering. The paper refers to the method simply as
+// "sum-based" (cardinality ranking implied); we keep that name for the
+// canonical cardinality pairing and qualify other rankings.
+func (o *SumBased) Name() string {
+	if o.rank.Name() == "card" {
+		return MethodSumBased
+	}
+	return "sum-" + o.rank.Name()
+}
+
+// Index implements Ordering.
+func (o *SumBased) Index(p paths.Path) int64 {
+	o.checkPath(p)
+	m := int64(len(p))
+
+	// Rank permutation and summed rank of p.
+	perm := make([]int64, m)
+	var sr int64
+	for i, l := range p {
+		perm[i] = o.rank.Rank(l)
+		sr += perm[i]
+	}
+	g := &o.groups[m-1][sr-m]
+
+	// Locate p's combination: the multiset of perm, compared against the
+	// group's few ascending-sorted entries.
+	sorted := make([]int64, m)
+	copy(sorted, perm)
+	sortAscending(sorted)
+	for i := range g.parts {
+		e := &g.parts[i]
+		if equalInt64(e.parts, sorted) {
+			return g.offset + e.cum + combinat.RankPermutation(perm)
+		}
+	}
+	panic("ordering: sum-based combination table is missing a multiset (corrupt state)")
+}
+
+// Path implements Ordering. This is Algorithm 2 of the paper
+// (unranking_in_sumbased) followed by Algorithm 1 for the final
+// permutation step, driven by the precomputed stage tables.
+func (o *SumBased) Path(idx int64) paths.Path {
+	o.checkIndex(idx)
+	// Stage 1: find the length block (stage1 is ascending).
+	m := len(o.stage1)
+	for m > 1 && o.stage1[m-1] > idx {
+		m--
+	}
+	groups := o.groups[m-1]
+	// Stage 2: find the (m, sr) group by offset (ascending; linear scan is
+	// fine — there are at most m·|L| groups — but binary search keeps it
+	// O(log) for large alphabets).
+	lo, hi := 0, len(groups)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if groups[mid].offset <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	g := &groups[lo]
+	rem := idx - g.offset
+	// Stage 3: find the combination, then unrank the permutation within it
+	// (Algorithm 1).
+	for i := range g.parts {
+		e := &g.parts[i]
+		if rem < e.cum+e.nop {
+			perm := combinat.UnrankPermutation(rem-e.cum, e.parts)
+			p := make(paths.Path, len(perm))
+			for j, r := range perm {
+				p[j] = o.rank.Label(r)
+			}
+			return p
+		}
+	}
+	panic("ordering: sum-based unranking fell through (corrupt state)")
+}
+
+// sortAscending is insertion sort for tiny slices (length ≤ k).
+func sortAscending(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

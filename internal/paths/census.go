@@ -1,0 +1,134 @@
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+	"repro/internal/graph"
+)
+
+// Census holds the exact selectivity f(ℓ) of every label path ℓ ∈ Lk over
+// a graph — the complete data distribution from which label-path
+// histograms are built. Frequencies are indexed by CanonicalIndex, so a
+// Census is independent of any domain ordering; orderings permute it.
+type Census struct {
+	numLabels int
+	k         int
+	freq      []int64
+}
+
+// NewCensus computes the full selectivity census of g for paths of length
+// 1…k by trie DFS with relational composition. Empty prefixes prune their
+// whole subtree (their extensions all have selectivity 0, which the dense
+// frequency array already records).
+func NewCensus(g *graph.CSR, k int) *Census {
+	if k < 1 {
+		panic(fmt.Sprintf("paths: census needs k ≥ 1, got %d", k))
+	}
+	c := &Census{
+		numLabels: g.NumLabels(),
+		k:         k,
+		freq:      make([]int64, combinat.GeometricSum(int64(g.NumLabels()), int64(k))),
+	}
+	p := make(Path, 0, k)
+	for l := 0; l < g.NumLabels(); l++ {
+		rel := g.EdgeRelation(l)
+		c.censusDFS(g, append(p, l), rel)
+	}
+	return c
+}
+
+func (c *Census) censusDFS(g *graph.CSR, p Path, rel *bitset.Relation) {
+	n := rel.Pairs()
+	c.freq[CanonicalIndex(p, c.numLabels, c.k)] = n
+	if len(p) == c.k || n == 0 {
+		return
+	}
+	for l := 0; l < c.numLabels; l++ {
+		next := rel.Compose(g.SuccessorSets(l))
+		c.censusDFS(g, append(p, l), next)
+	}
+}
+
+// NumLabels returns |L|.
+func (c *Census) NumLabels() int { return c.numLabels }
+
+// K returns the maximum path length covered.
+func (c *Census) K() int { return c.k }
+
+// Size returns |Lk|, the number of label paths in the census.
+func (c *Census) Size() int64 { return int64(len(c.freq)) }
+
+// Selectivity returns f(ℓ).
+func (c *Census) Selectivity(p Path) int64 {
+	return c.freq[CanonicalIndex(p, c.numLabels, c.k)]
+}
+
+// AtCanonical returns f(ℓ) for the path with the given canonical index.
+func (c *Census) AtCanonical(idx int64) int64 { return c.freq[idx] }
+
+// LabelFrequencies returns f(l) for each length-1 path, the input to the
+// cardinality ranking rule.
+func (c *Census) LabelFrequencies() []int64 {
+	out := make([]int64, c.numLabels)
+	for l := 0; l < c.numLabels; l++ {
+		out[l] = c.freq[CanonicalIndex(Path{l}, c.numLabels, c.k)]
+	}
+	return out
+}
+
+// Total returns Σ_ℓ f(ℓ) over the whole census.
+func (c *Census) Total() int64 {
+	var t int64
+	for _, f := range c.freq {
+		t += f
+	}
+	return t
+}
+
+// MaxSelectivity returns the largest f(ℓ) in the census.
+func (c *Census) MaxSelectivity() int64 {
+	var mx int64
+	for _, f := range c.freq {
+		if f > mx {
+			mx = f
+		}
+	}
+	return mx
+}
+
+// PrefixSelectivity returns Σ f(ℓ) over p and every extension of p within
+// Lk — the ground truth of a prefix wildcard query "p/*".
+func (c *Census) PrefixSelectivity(p Path) int64 {
+	total := c.Selectivity(p)
+	if len(p) < c.k {
+		ext := append(p.Clone(), 0)
+		for l := 0; l < c.numLabels; l++ {
+			ext[len(ext)-1] = l
+			total += c.PrefixSelectivity(ext)
+		}
+	}
+	return total
+}
+
+// ForEach calls fn for every path in canonical order with its selectivity.
+// It stops early when fn returns false.
+func (c *Census) ForEach(fn func(p Path, f int64) bool) {
+	for idx := int64(0); idx < int64(len(c.freq)); idx++ {
+		if !fn(FromCanonicalIndex(idx, c.numLabels, c.k), c.freq[idx]) {
+			return
+		}
+	}
+}
+
+// FromFrequencies builds a census directly from a canonical-order
+// frequency vector; used by tests and synthetic-distribution experiments.
+// The slice is not copied.
+func FromFrequencies(numLabels, k int, freq []int64) *Census {
+	want := combinat.GeometricSum(int64(numLabels), int64(k))
+	if int64(len(freq)) != want {
+		panic(fmt.Sprintf("paths: frequency vector has %d entries, want %d", len(freq), want))
+	}
+	return &Census{numLabels: numLabels, k: k, freq: freq}
+}

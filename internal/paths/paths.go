@@ -1,0 +1,167 @@
+// Package paths implements label paths and the exact path-selectivity
+// engine of the reproduction.
+//
+// A k-label path ℓ = l1/l2/…/lk is a sequence of edge labels. Its
+// evaluation ℓ(G) is the set of distinct vertex pairs (vs, vt) connected by
+// a path spelling ℓ; the selectivity f(ℓ) = |ℓ(G)|. The engine computes
+// f(ℓ) for every ℓ ∈ Lk (all label paths of length 1…k) by a DFS over the
+// label trie, extending each prefix's pair relation by one label via
+// bit-parallel relational composition.
+package paths
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+	"repro/internal/graph"
+)
+
+// Path is a label path: a sequence of dense label ids.
+type Path []int
+
+// String renders the path in the paper's l1/l2/…/lk notation using the
+// graph's label names.
+func (p Path) String(g interface{ LabelName(int) string }) string {
+	parts := make([]string, len(p))
+	for i, l := range p {
+		parts[i] = g.LabelName(l)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Key renders the path with 1-based numeric labels, independent of a
+// graph, e.g. "1/2/3". Useful for map keys and tests.
+func (p Path) Key() string {
+	parts := make([]string, len(p))
+	for i, l := range p {
+		parts[i] = fmt.Sprintf("%d", l+1)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Clone returns a copy of p.
+func (p Path) Clone() Path {
+	c := make(Path, len(p))
+	copy(c, p)
+	return c
+}
+
+// Equal reports whether p and q are the same label sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses the "a/b/c" notation produced by Key (1-based numeric
+// labels) into a Path, validating labels against numLabels.
+func Parse(s string, numLabels int) (Path, error) {
+	if s == "" {
+		return nil, fmt.Errorf("paths: empty path")
+	}
+	parts := strings.Split(s, "/")
+	p := make(Path, len(parts))
+	for i, part := range parts {
+		var l int
+		if _, err := fmt.Sscanf(part, "%d", &l); err != nil {
+			return nil, fmt.Errorf("paths: bad label %q in %q", part, s)
+		}
+		if l < 1 || l > numLabels {
+			return nil, fmt.Errorf("paths: label %d in %q out of range [1,%d]", l, s, numLabels)
+		}
+		p[i] = l - 1
+	}
+	return p, nil
+}
+
+// CanonicalIndex returns the position of p in the canonical domain: all
+// paths of length 1…k over numLabels labels, ordered by length first, then
+// positionally by label id (this coincides with the paper's num-alph
+// ordering when label names sort like their ids). It panics when p is
+// empty, longer than k, or contains an out-of-range label.
+func CanonicalIndex(p Path, numLabels, k int) int64 {
+	if len(p) == 0 || len(p) > k {
+		panic(fmt.Sprintf("paths: path length %d out of [1,%d]", len(p), k))
+	}
+	var offset int64
+	for i := 1; i < len(p); i++ {
+		offset += combinat.Pow(int64(numLabels), int64(i))
+	}
+	var val int64
+	for _, l := range p {
+		if l < 0 || l >= numLabels {
+			panic(fmt.Sprintf("paths: label %d out of range [0,%d)", l, numLabels))
+		}
+		val = val*int64(numLabels) + int64(l)
+	}
+	return offset + val
+}
+
+// FromCanonicalIndex inverts CanonicalIndex.
+func FromCanonicalIndex(idx int64, numLabels, k int) Path {
+	if idx < 0 || idx >= combinat.GeometricSum(int64(numLabels), int64(k)) {
+		panic(fmt.Sprintf("paths: canonical index %d out of range", idx))
+	}
+	length := 1
+	for {
+		block := combinat.Pow(int64(numLabels), int64(length))
+		if idx < block {
+			break
+		}
+		idx -= block
+		length++
+	}
+	p := make(Path, length)
+	for i := length - 1; i >= 0; i-- {
+		p[i] = int(idx % int64(numLabels))
+		idx /= int64(numLabels)
+	}
+	return p
+}
+
+// Evaluate returns ℓ(G) as a relation of distinct vertex pairs. It panics
+// on an empty path.
+func Evaluate(g *graph.CSR, p Path) *bitset.Relation {
+	if len(p) == 0 {
+		panic("paths: evaluate empty path")
+	}
+	rel := g.EdgeRelation(p[0])
+	for _, l := range p[1:] {
+		rel = rel.Compose(g.SuccessorSets(l))
+	}
+	return rel
+}
+
+// Selectivity returns f(ℓ) = |ℓ(G)|.
+func Selectivity(g *graph.CSR, p Path) int64 {
+	return Evaluate(g, p).Pairs()
+}
+
+// UnionSelectivity returns the number of distinct vertex pairs connected
+// by at least one of the given paths — the exact answer of a pattern
+// (disjunction) query under set semantics. It panics when ps is empty.
+func UnionSelectivity(g *graph.CSR, ps []Path) int64 {
+	if len(ps) == 0 {
+		panic("paths: union of no paths")
+	}
+	acc := Evaluate(g, ps[0])
+	for _, p := range ps[1:] {
+		rel := Evaluate(g, p)
+		rel.ForEachRow(func(s int, targets *bitset.Set) bool {
+			targets.ForEach(func(t int) bool {
+				acc.Add(s, t)
+				return true
+			})
+			return true
+		})
+	}
+	return acc.Pairs()
+}

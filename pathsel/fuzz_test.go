@@ -1,0 +1,45 @@
+package pathsel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadEstimator asserts the synopsis decoder never panics on arbitrary
+// bytes and that any blob it accepts answers queries without panicking.
+func FuzzLoadEstimator(f *testing.F) {
+	// Seed with a valid blob and mutations of it.
+	g := NewGraph(4, []string{"a", "b"})
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	g.AddEdge(2, "a", 3)
+	est, err := Build(g, Config{MaxPathLength: 2, Buckets: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ce, err := LoadEstimator(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loaded must answer queries robustly.
+		for _, q := range []string{"a", "b", "a/b", "zzz"} {
+			_, _ = ce.Estimate(q)
+		}
+		_ = ce.Labels()
+		_ = ce.Buckets()
+	})
+}

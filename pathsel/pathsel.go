@@ -1,0 +1,291 @@
+// Package pathsel is the public API of the path-selectivity-estimation
+// library: histogram-based selectivity estimation for label-path queries
+// on directed edge-labeled graphs, with the histogram domain arranged by a
+// configurable ordering method (the contribution of Yakovets et al.,
+// "Histogram Domain Ordering for Path Selectivity Estimation", EDBT 2018).
+//
+// Typical use:
+//
+//	g := pathsel.NewGraph(numVertices, []string{"knows", "likes"})
+//	g.AddEdge(0, "knows", 1)
+//	...
+//	est, err := pathsel.Build(g, pathsel.Config{
+//	    MaxPathLength: 3,
+//	    Ordering:      pathsel.OrderingSumBased,
+//	    Buckets:       256,
+//	})
+//	sel, err := est.Estimate("knows/likes")
+package pathsel
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ordering"
+	"repro/internal/paths"
+)
+
+// Ordering method names.
+const (
+	OrderingNumAlph  = ordering.MethodNumAlph
+	OrderingNumCard  = ordering.MethodNumCard
+	OrderingLexAlph  = ordering.MethodLexAlph
+	OrderingLexCard  = ordering.MethodLexCard
+	OrderingSumBased = ordering.MethodSumBased
+)
+
+// Histogram builder names.
+const (
+	HistogramVOptimal  = core.BuilderVOptimal
+	HistogramEquiWidth = core.BuilderEquiWidth
+	HistogramEquiDepth = core.BuilderEquiDepth
+	HistogramMaxDiff   = core.BuilderMaxDiff
+)
+
+// Orderings returns the five ordering method names in the paper's order.
+func Orderings() []string { return ordering.PaperMethods() }
+
+// Graph is a directed edge-labeled graph under construction. Vertices are
+// dense integers [0, NumVertices); labels are referenced by name.
+type Graph struct {
+	g      *graph.Graph
+	frozen *graph.CSR
+}
+
+// NewGraph returns an empty graph with the given vertex count and label
+// vocabulary.
+func NewGraph(numVertices int, labels []string) *Graph {
+	if len(labels) == 0 {
+		panic("pathsel: a graph needs at least one edge label")
+	}
+	g := graph.New(numVertices, len(labels))
+	for i, name := range labels {
+		g.SetLabelName(i, name)
+	}
+	return &Graph{g: g}
+}
+
+// LoadEdgeList reads a whitespace-separated `src dst label` edge list
+// (lines starting with % or # are comments).
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	g, err := dataset.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// AddEdge inserts a directed labeled edge. It returns an error for unknown
+// labels or out-of-range vertices (and reports duplicate edges as a no-op
+// false).
+func (gr *Graph) AddEdge(src int, label string, dst int) (bool, error) {
+	l := gr.g.LabelByName(label)
+	if l < 0 {
+		return false, fmt.Errorf("pathsel: unknown label %q", label)
+	}
+	if src < 0 || src >= gr.g.NumVertices() || dst < 0 || dst >= gr.g.NumVertices() {
+		return false, fmt.Errorf("pathsel: edge (%d,%d) outside vertex range [0,%d)",
+			src, dst, gr.g.NumVertices())
+	}
+	gr.frozen = nil
+	return gr.g.AddEdge(src, l, dst), nil
+}
+
+// NumVertices returns |V|.
+func (gr *Graph) NumVertices() int { return gr.g.NumVertices() }
+
+// NumEdges returns |E|.
+func (gr *Graph) NumEdges() int { return gr.g.NumEdges() }
+
+// Labels returns the label vocabulary.
+func (gr *Graph) Labels() []string {
+	out := make([]string, gr.g.NumLabels())
+	for i := range out {
+		out[i] = gr.g.LabelName(i)
+	}
+	return out
+}
+
+// WriteEdgeList writes the graph in the loader's format.
+func (gr *Graph) WriteEdgeList(w io.Writer) error {
+	return dataset.WriteEdgeList(w, gr.g)
+}
+
+// csr freezes (and caches) the CSR form.
+func (gr *Graph) csr() *graph.CSR {
+	if gr.frozen == nil {
+		gr.frozen = gr.g.Freeze()
+	}
+	return gr.frozen
+}
+
+// parsePath resolves a "a/b/c" label-name path against the graph.
+func (gr *Graph) parsePath(q string) (paths.Path, error) {
+	if q == "" {
+		return nil, fmt.Errorf("pathsel: empty path query")
+	}
+	var p paths.Path
+	start := 0
+	for i := 0; i <= len(q); i++ {
+		if i == len(q) || q[i] == '/' {
+			name := q[start:i]
+			l := gr.g.LabelByName(name)
+			if l < 0 {
+				return nil, fmt.Errorf("pathsel: unknown label %q in path %q", name, q)
+			}
+			p = append(p, l)
+			start = i + 1
+		}
+	}
+	return p, nil
+}
+
+// TrueSelectivity evaluates the path query exactly: the number of distinct
+// vertex pairs connected by the label path (slash-separated label names).
+func (gr *Graph) TrueSelectivity(q string) (int64, error) {
+	p, err := gr.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	return paths.Selectivity(gr.csr(), p), nil
+}
+
+// Config parameterizes Build.
+type Config struct {
+	// MaxPathLength is k, the maximum label-path length covered (≥ 1).
+	MaxPathLength int
+	// Ordering is the domain ordering method (default OrderingSumBased).
+	Ordering string
+	// Histogram is the bucket builder (default HistogramVOptimal).
+	Histogram string
+	// Buckets is the bucket budget β (≥ 1).
+	Buckets int
+}
+
+func (c *Config) fill() error {
+	if c.Ordering == "" {
+		c.Ordering = OrderingSumBased
+	}
+	if c.Histogram == "" {
+		c.Histogram = HistogramVOptimal
+	}
+	if c.MaxPathLength < 1 {
+		return fmt.Errorf("pathsel: MaxPathLength must be ≥ 1, got %d", c.MaxPathLength)
+	}
+	if c.Buckets < 1 {
+		return fmt.Errorf("pathsel: Buckets must be ≥ 1, got %d", c.Buckets)
+	}
+	return nil
+}
+
+// Estimator answers approximate path-selectivity queries from a compact
+// histogram, without access to the original distribution.
+type Estimator struct {
+	gr     *Graph
+	ph     *core.PathHistogram
+	census *paths.Census
+	cfg    Config
+}
+
+// Build computes the exact selectivity distribution of all label paths up
+// to cfg.MaxPathLength, arranges it with the configured ordering, and
+// compresses it into a β-bucket histogram.
+func Build(gr *Graph, cfg Config) (*Estimator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ph, census, err := core.BuildForGraph(gr.csr(), cfg.Ordering, cfg.Histogram, cfg.MaxPathLength, cfg.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{gr: gr, ph: ph, census: census, cfg: cfg}, nil
+}
+
+// Estimate returns e(ℓ) for a slash-separated label-name path, e.g.
+// "knows/likes/knows".
+func (e *Estimator) Estimate(q string) (float64, error) {
+	p, err := e.gr.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > e.cfg.MaxPathLength {
+		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+	}
+	return e.ph.Estimate(p), nil
+}
+
+// EstimatePrefix answers a prefix wildcard query "p/*": the estimated
+// total selectivity of the path and every extension of it up to
+// MaxPathLength, answered as one histogram range query. Requires a
+// lexicographic ordering (OrderingLexAlph or OrderingLexCard) — the only
+// domain layout in which a prefix's extensions are contiguous.
+func (e *Estimator) EstimatePrefix(q string) (float64, error) {
+	p, err := e.gr.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > e.cfg.MaxPathLength {
+		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+	}
+	return e.ph.EstimatePrefix(p)
+}
+
+// TruePrefixSelectivity returns the exact aggregate selectivity of the
+// path and all of its extensions, from the build-time ground truth.
+func (e *Estimator) TruePrefixSelectivity(q string) (int64, error) {
+	p, err := e.gr.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > e.cfg.MaxPathLength {
+		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+	}
+	return e.census.PrefixSelectivity(p), nil
+}
+
+// TrueSelectivity returns the exact f(ℓ) recorded at build time.
+func (e *Estimator) TrueSelectivity(q string) (int64, error) {
+	p, err := e.gr.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > e.cfg.MaxPathLength {
+		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+	}
+	return e.census.Selectivity(p), nil
+}
+
+// Accuracy reports estimation quality over the entire path domain.
+type Accuracy struct {
+	// MeanErrorRate is the mean |err(ℓ)| of the paper's Eq. 6 metric.
+	MeanErrorRate float64
+	// MeanQError is the mean q-error.
+	MeanQError float64
+	// MaxAbsError is the worst |err(ℓ)|.
+	MaxAbsError float64
+	// Paths is |Lk|, the number of queries evaluated.
+	Paths int64
+}
+
+// Evaluate measures the estimator against its build-time ground truth.
+func (e *Estimator) Evaluate() Accuracy {
+	ev := core.Evaluate(e.ph, e.census)
+	return Accuracy{
+		MeanErrorRate: ev.MeanErrorRate,
+		MeanQError:    ev.MeanQError,
+		MaxAbsError:   ev.MaxAbsError,
+		Paths:         e.census.Size(),
+	}
+}
+
+// Buckets returns the realized bucket count of the histogram.
+func (e *Estimator) Buckets() int { return e.ph.Buckets() }
+
+// Ordering returns the ordering method in use.
+func (e *Estimator) Ordering() string { return e.ph.Ordering().Name() }
+
+// DomainSize returns |Lk|.
+func (e *Estimator) DomainSize() int64 { return e.census.Size() }

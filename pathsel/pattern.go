@@ -1,0 +1,123 @@
+package pathsel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/paths"
+)
+
+// maxPatternExpansions bounds how many concrete label paths one pattern
+// may expand to; beyond this the pattern is almost certainly a mistake
+// (and summation-based estimation loses meaning anyway).
+const maxPatternExpansions = 10000
+
+// expandPattern parses a path pattern and returns every concrete label
+// path it matches. Pattern syntax, per '/'-separated segment:
+//
+//	name       that label
+//	*          any single label
+//	a|b|c      any of the named labels
+//
+// Examples: "knows/*/likes", "knows|likes/knows".
+func (gr *Graph) expandPattern(pattern string) ([]paths.Path, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("pathsel: empty pattern")
+	}
+	segments := strings.Split(pattern, "/")
+	// Per segment, the set of admissible labels.
+	options := make([][]int, len(segments))
+	for i, seg := range segments {
+		switch {
+		case seg == "*":
+			all := make([]int, gr.g.NumLabels())
+			for l := range all {
+				all[l] = l
+			}
+			options[i] = all
+		case strings.Contains(seg, "|"):
+			for _, name := range strings.Split(seg, "|") {
+				l := gr.g.LabelByName(name)
+				if l < 0 {
+					return nil, fmt.Errorf("pathsel: unknown label %q in pattern %q", name, pattern)
+				}
+				options[i] = append(options[i], l)
+			}
+		default:
+			l := gr.g.LabelByName(seg)
+			if l < 0 {
+				return nil, fmt.Errorf("pathsel: unknown label %q in pattern %q", seg, pattern)
+			}
+			options[i] = []int{l}
+		}
+	}
+	count := 1
+	for _, opts := range options {
+		count *= len(opts)
+		if count > maxPatternExpansions {
+			return nil, fmt.Errorf("pathsel: pattern %q expands to over %d paths", pattern, maxPatternExpansions)
+		}
+	}
+	out := make([]paths.Path, 0, count)
+	cur := make(paths.Path, len(segments))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(segments) {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, l := range options[i] {
+			cur[i] = l
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// EstimatePattern estimates the total selectivity of a path pattern
+// (wildcards `*` and alternations `a|b` per segment) by summing the
+// histogram estimates of its expansions. Summation is bag semantics: a
+// vertex pair connected by two matching paths counts twice. For the exact
+// set-semantics answer, see TruePatternSelectivity.
+func (e *Estimator) EstimatePattern(pattern string) (float64, error) {
+	ps, err := e.gr.expandPattern(pattern)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range ps {
+		if len(p) > e.cfg.MaxPathLength {
+			return 0, fmt.Errorf("pathsel: pattern %q expands beyond MaxPathLength %d", pattern, e.cfg.MaxPathLength)
+		}
+		total += e.ph.Estimate(p)
+	}
+	return total, nil
+}
+
+// TruePatternSelectivity evaluates a pattern exactly under set semantics:
+// the number of distinct vertex pairs connected by at least one matching
+// path.
+func (gr *Graph) TruePatternSelectivity(pattern string) (int64, error) {
+	ps, err := gr.expandPattern(pattern)
+	if err != nil {
+		return 0, err
+	}
+	return paths.UnionSelectivity(gr.csr(), ps), nil
+}
+
+// TruePatternBagSelectivity evaluates a pattern exactly under bag
+// semantics (the sum of the expansions' selectivities) — the quantity
+// EstimatePattern approximates.
+func (gr *Graph) TruePatternBagSelectivity(pattern string) (int64, error) {
+	ps, err := gr.expandPattern(pattern)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	csr := gr.csr()
+	for _, p := range ps {
+		total += paths.Selectivity(csr, p)
+	}
+	return total, nil
+}

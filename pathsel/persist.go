@@ -1,0 +1,149 @@
+package pathsel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/paths"
+)
+
+// Save serializes the estimator's synopsis — label vocabulary, ordering
+// method, ranking, and bucket list — as a compact versioned binary blob.
+// The build-time ground truth (the census) is deliberately *not* saved:
+// the whole point of the histogram is that estimation needs only the
+// synopsis. Load the result with LoadEstimator.
+//
+// Only the five paper ordering methods with serial histograms are
+// serializable.
+func (e *Estimator) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	labels := e.gr.Labels()
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(labels)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		n = binary.PutUvarint(buf[:], uint64(len(l)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(l); err != nil {
+			return err
+		}
+	}
+	if err := e.ph.Encode(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// CompactEstimator is a loaded synopsis: it answers Estimate and
+// EstimatePrefix queries by label-name path without the original graph or
+// ground truth (so there is no Evaluate or TrueSelectivity — those need
+// the census that only exists at build time).
+type CompactEstimator struct {
+	labels map[string]int
+	names  []string
+	ph     *core.PathHistogram
+}
+
+// LoadEstimator reads a synopsis written by Estimator.Save.
+func LoadEstimator(r io.Reader) (*CompactEstimator, error) {
+	br := bufio.NewReader(r)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("pathsel: reading label count: %w", err)
+	}
+	if count == 0 || count > 1<<16 {
+		return nil, fmt.Errorf("pathsel: implausible label count %d", count)
+	}
+	ce := &CompactEstimator{labels: make(map[string]int, count)}
+	for i := 0; i < int(count); i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<12 {
+			return nil, fmt.Errorf("pathsel: implausible label length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		name := string(b)
+		if _, dup := ce.labels[name]; dup {
+			return nil, fmt.Errorf("pathsel: duplicate label %q", name)
+		}
+		ce.labels[name] = i
+		ce.names = append(ce.names, name)
+	}
+	ph, err := core.ReadPathHistogram(br)
+	if err != nil {
+		return nil, err
+	}
+	if ph.Ordering().NumLabels() != int(count) {
+		return nil, fmt.Errorf("pathsel: vocabulary size %d disagrees with ordering (%d labels)",
+			count, ph.Ordering().NumLabels())
+	}
+	ce.ph = ph
+	return ce, nil
+}
+
+// parsePath resolves a slash-separated label-name path.
+func (ce *CompactEstimator) parsePath(q string) (paths.Path, error) {
+	if q == "" {
+		return nil, fmt.Errorf("pathsel: empty path query")
+	}
+	var p paths.Path
+	start := 0
+	for i := 0; i <= len(q); i++ {
+		if i == len(q) || q[i] == '/' {
+			name := q[start:i]
+			l, ok := ce.labels[name]
+			if !ok {
+				return nil, fmt.Errorf("pathsel: unknown label %q in path %q", name, q)
+			}
+			p = append(p, l)
+			start = i + 1
+		}
+	}
+	if len(p) > ce.ph.Ordering().K() {
+		return nil, fmt.Errorf("pathsel: path %q longer than covered length %d", q, ce.ph.Ordering().K())
+	}
+	return p, nil
+}
+
+// Estimate returns e(ℓ) for a slash-separated label-name path.
+func (ce *CompactEstimator) Estimate(q string) (float64, error) {
+	p, err := ce.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	return ce.ph.Estimate(p), nil
+}
+
+// EstimatePrefix answers a prefix wildcard query (lexicographic orderings
+// only, as for Estimator.EstimatePrefix).
+func (ce *CompactEstimator) EstimatePrefix(q string) (float64, error) {
+	p, err := ce.parsePath(q)
+	if err != nil {
+		return 0, err
+	}
+	return ce.ph.EstimatePrefix(p)
+}
+
+// Labels returns the label vocabulary.
+func (ce *CompactEstimator) Labels() []string { return append([]string(nil), ce.names...) }
+
+// Ordering returns the ordering method name.
+func (ce *CompactEstimator) Ordering() string { return ce.ph.Ordering().Name() }
+
+// Buckets returns the bucket count.
+func (ce *CompactEstimator) Buckets() int { return ce.ph.Buckets() }
+
+// MaxPathLength returns the covered path length bound k.
+func (ce *CompactEstimator) MaxPathLength() int { return ce.ph.Ordering().K() }

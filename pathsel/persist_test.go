@@ -1,0 +1,206 @@
+package pathsel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := socialGraph(t)
+	for _, method := range Orderings() {
+		est, err := Build(g, Config{MaxPathLength: 3, Ordering: method, Buckets: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := est.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", method, err)
+		}
+		ce, err := LoadEstimator(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", method, err)
+		}
+		if ce.Ordering() != method || ce.MaxPathLength() != 3 || ce.Buckets() != est.Buckets() {
+			t.Fatalf("%s: metadata lost: %s/%d/%d", method, ce.Ordering(), ce.MaxPathLength(), ce.Buckets())
+		}
+		labels := ce.Labels()
+		if len(labels) != 2 || labels[0] != "knows" || labels[1] != "likes" {
+			t.Fatalf("%s: labels lost: %v", method, labels)
+		}
+		// Every estimate must survive byte-for-byte.
+		for _, q := range []string{"knows", "likes", "knows/likes", "likes/likes/knows"} {
+			want, err := est.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ce.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: estimate of %s changed: %v → %v", method, q, want, got)
+			}
+		}
+	}
+}
+
+func TestSaveLoadPrefixQueries(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 3, Ordering: OrderingLexCard, Buckets: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ce, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"knows", "likes/knows"} {
+		want, err := est.EstimatePrefix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ce.EstimatePrefix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prefix estimate of %s changed: %v → %v", q, want, got)
+		}
+	}
+	// Non-lex compact estimators reject prefix queries.
+	est2, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingNumCard, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := est2.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ce2, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce2.EstimatePrefix("knows"); err == nil {
+		t.Fatal("prefix query on num-card compact estimator should error")
+	}
+}
+
+func TestCompactEstimatorPrefixErrors(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingLexAlph, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ce, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.EstimatePrefix("zzz"); err == nil {
+		t.Fatal("unknown label in prefix should error")
+	}
+	if _, err := ce.EstimatePrefix(""); err == nil {
+		t.Fatal("empty prefix should error")
+	}
+	if _, err := ce.EstimatePrefix("knows/knows/knows"); err == nil {
+		t.Fatal("over-length prefix should error")
+	}
+}
+
+func TestCompactEstimatorErrors(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingSumBased, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ce, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Estimate("zzz"); err == nil {
+		t.Fatal("unknown label should error")
+	}
+	if _, err := ce.Estimate(""); err == nil {
+		t.Fatal("empty path should error")
+	}
+	if _, err := ce.Estimate("knows/knows/knows"); err == nil {
+		t.Fatal("over-length path should error")
+	}
+}
+
+func TestLoadEstimatorCorruptInputs(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"garbage":     "this is not a synopsis",
+		"truncated 1": "\x02",
+	}
+	for name, in := range cases {
+		if _, err := LoadEstimator(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: corrupt input should error", name)
+		}
+	}
+	// A valid blob truncated anywhere must error, never panic.
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingNumAlph, Buckets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for cut := 0; cut < len(blob); cut += 3 {
+		if _, err := LoadEstimator(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+	}
+}
+
+func TestSaveRejectsEndBiased(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Histogram: "end-biased", Buckets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err == nil {
+		t.Fatal("end-biased synopsis should not be serializable")
+	}
+}
+
+func TestSavedBlobIsCompact(t *testing.T) {
+	// The synopsis must be O(β), not O(|Lk|): a 16-bucket synopsis over a
+	// 258-path domain should fit comfortably under a kilobyte.
+	g, err := GenerateDataset("Moreno health", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Build(g, Config{MaxPathLength: 3, Buckets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1024 {
+		t.Fatalf("synopsis blob is %d bytes; expected O(β) compactness", buf.Len())
+	}
+	if int64(buf.Len()) >= est.DomainSize()*8 {
+		t.Fatalf("synopsis (%d bytes) not smaller than raw distribution (%d entries)",
+			buf.Len(), est.DomainSize())
+	}
+}

@@ -1,0 +1,117 @@
+package pathsel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrefixQueries(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{
+		MaxPathLength: 3,
+		Ordering:      OrderingLexCard,
+		Buckets:       14, // singleton buckets → exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact-budget estimator: prefix estimate equals the exact aggregate.
+	for _, q := range []string{"knows", "likes", "knows/knows", "likes/likes/knows"} {
+		e, err := est.EstimatePrefix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := est.TruePrefixSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-float64(f)) > 1e-9 {
+			t.Errorf("EstimatePrefix(%s) = %v, exact %d", q, e, f)
+		}
+	}
+}
+
+func TestTruePrefixSelectivityIsSumOverExtensions(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingLexAlph, Buckets: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(knows/*) over k ≤ 2 = f(knows) + f(knows/knows) + f(knows/likes).
+	var want int64
+	for _, q := range []string{"knows", "knows/knows", "knows/likes"} {
+		f, err := g.TrueSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += f
+	}
+	got, err := est.TruePrefixSelectivity("knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("TruePrefixSelectivity(knows) = %d, want %d", got, want)
+	}
+}
+
+func TestEstimatePrefixRequiresLexOrdering(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingSumBased, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimatePrefix("knows"); err == nil {
+		t.Fatal("prefix query under sum-based ordering should error")
+	}
+}
+
+func TestEstimatePrefixErrors(t *testing.T) {
+	g := socialGraph(t)
+	est, err := Build(g, Config{MaxPathLength: 2, Ordering: OrderingLexAlph, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimatePrefix("zzz"); err == nil {
+		t.Fatal("unknown label should error")
+	}
+	if _, err := est.EstimatePrefix("knows/knows/knows"); err == nil {
+		t.Fatal("over-length path should error")
+	}
+	if _, err := est.TruePrefixSelectivity("zzz"); err == nil {
+		t.Fatal("unknown label should error in TruePrefixSelectivity")
+	}
+	if _, err := est.TruePrefixSelectivity("knows/knows/knows"); err == nil {
+		t.Fatal("over-length path should error in TruePrefixSelectivity")
+	}
+}
+
+func TestEstimatePrefixCompressedReasonable(t *testing.T) {
+	// Under compression, the prefix estimate should still be within a
+	// modest factor of the truth on a decently sized graph.
+	g, err := GenerateDataset("Moreno health", 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Build(g, Config{MaxPathLength: 3, Ordering: OrderingLexCard, Buckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"1", "2/3", "6"} {
+		e, err := est.EstimatePrefix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := est.TruePrefixSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == 0 {
+			continue
+		}
+		ratio := e / float64(f)
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("EstimatePrefix(%s) = %.1f vs exact %d (ratio %.2f) outside sanity band", q, e, f, ratio)
+		}
+	}
+}
