@@ -21,6 +21,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -381,4 +382,100 @@ func BenchmarkExperimentSuite(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkComposeKernels isolates one relational-composition step — the
+// innermost operation of the census — on a Table 3 dataset relation,
+// comparing the legacy dense row walk against the hybrid engine's
+// specialized kernels (sparse×CSR scatter vs dense×CSR word-parallel
+// union).
+func BenchmarkComposeKernels(b *testing.B) {
+	g := dataset.Generate(dataset.Table3()[3], 0.1, 1).Freeze() // SNAP-FF: sparse
+	op := g.LabelOperand(0)
+	b.Run("legacy-dense", func(b *testing.B) {
+		rel := g.EdgeRelation(0)
+		succ := g.SuccessorSets(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = rel.Compose(succ)
+		}
+	})
+	b.Run("hybrid-sparse", func(b *testing.B) {
+		rel := bitset.HybridFromCSR(op, 1.0) // all rows sparse
+		dst := bitset.NewHybrid(op.N, 1.0)
+		scr := bitset.NewComposeScratch(op.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.ComposeInto(dst, op, scr)
+		}
+	})
+	b.Run("hybrid-dense", func(b *testing.B) {
+		rel := bitset.HybridFromCSR(op, 1e-9) // all rows dense
+		dst := bitset.NewHybrid(op.N, 1e-9)
+		scr := bitset.NewComposeScratch(op.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.ComposeInto(dst, op, scr)
+		}
+	})
+	b.Run("hybrid-adaptive", func(b *testing.B) {
+		rel := bitset.HybridFromCSR(op, 0) // default promotion threshold
+		dst := bitset.NewHybrid(op.N, 0)
+		scr := bitset.NewComposeScratch(op.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.ComposeInto(dst, op, scr)
+		}
+	})
+}
+
+// BenchmarkCensusEngines compares the legacy allocating census against the
+// pooled hybrid engine, single-worker, on the synthetic Table 3 datasets —
+// the ISSUE 1 ≥3× target measured apples-to-apples (same graph, same k,
+// parallelism taken out of the picture).
+func BenchmarkCensusEngines(b *testing.B) {
+	for _, specIdx := range []int{2, 3} { // SNAP-ER, SNAP-FF
+		spec := dataset.Table3()[specIdx]
+		g := dataset.Generate(spec, 0.05, 1).Freeze()
+		const k = 3
+		b.Run(spec.Name+"/legacy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := paths.NewCensus(g, k)
+				if c.Total() == 0 {
+					b.Fatal("empty census")
+				}
+			}
+		})
+		b.Run(spec.Name+"/hybrid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := paths.NewCensusHybrid(g, k, paths.CensusOptions{Workers: 1})
+				if c.Total() == 0 {
+					b.Fatal("empty census")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCensusSkewedScaling measures worker scaling on the skewed-label
+// workload shared with the BENCH_*.json emitter (one Zipf label carries
+// most edges), the case where per-first-label parallelism load-imbalances
+// and the work-stealing scheduler should not.
+func BenchmarkCensusSkewedScaling(b *testing.B) {
+	g := experiments.SkewedScalingGraph()
+	const k = experiments.PerfBenchK
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := paths.NewCensusHybrid(g, k, paths.CensusOptions{Workers: workers})
+				if c.Total() == 0 {
+					b.Fatal("empty census")
+				}
+			}
+		})
+	}
 }

@@ -30,7 +30,28 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV result files into (created if missing)")
 	ds := flag.String("dataset", "", "restrict figure2/table3 to one Table 3 dataset name")
 	maxK := flag.Int("maxk", 0, "cap the accuracy sweep's path length bound (0 = configuration default)")
+	benchJSON := flag.String("bench-json", "", "run the census/compose perf bench and write a BENCH JSON report to this file, then exit")
+	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		// Open the output before the (slow) measurement so a bad path
+		// fails fast.
+		f, err := os.Create(*benchJSON)
+		if err == nil {
+			rep := experiments.RunPerfBench(*scale, *benchIters)
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf bench report to %s\n", *benchJSON)
+		return
+	}
 
 	opt := experiments.DefaultOptions()
 	if *full {

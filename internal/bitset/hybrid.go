@@ -1,0 +1,403 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// DefaultDensityThreshold is the fraction of the vertex universe at which a
+// sparse row promotes to the dense word-array form. At count = |V|/32 the
+// sorted-int32 form and the dense form occupy the same memory (32 bits per
+// id vs 1 bit per universe slot), so the default promotes exactly at the
+// memory crossover.
+const DefaultDensityThreshold = 1.0 / 32
+
+// CSROperand is one edge label's adjacency in the two forms the compose
+// kernels choose between: the CSR arrays (Offsets/Targets) drive the
+// sparse×CSR scatter kernel, and the per-source dense successor sets drive
+// the dense×CSR word-parallel union kernel. All slices are read-only shared
+// views.
+type CSROperand struct {
+	N       int     // vertex universe size
+	Offsets []int32 // len N+1; Targets[Offsets[v]:Offsets[v+1]] = successors of v, ascending
+	Targets []int32
+	Dense   []*Set // per-source dense rows; nil entries mean "no successors"
+}
+
+// OutDegree returns the number of successors of v in the operand.
+func (op CSROperand) OutDegree(v int) int {
+	return int(op.Offsets[v+1] - op.Offsets[v])
+}
+
+// hrow is one source row of a HybridRelation: either a sorted sparse id
+// list or a dense word array, never both, with its population count cached
+// so distinct-pair counting never rescans words.
+type hrow struct {
+	ids   []int32  // sparse form: target ids, ascending; nil/empty when dense
+	words []uint64 // dense form; retained (dirty) across reuses and fully overwritten on each dense fill
+	count int32
+	dense bool
+}
+
+// HybridRelation is a binary relation over [0, n) whose rows adaptively
+// switch between a sparse sorted-id representation and a dense bit-set
+// representation at a configurable density threshold. It is the pooled,
+// allocation-free-in-steady-state substrate of the census engine: rows and
+// the active-source list keep their capacity across Reset, and compose
+// kernels write into a destination relation instead of allocating one.
+type HybridRelation struct {
+	n         int
+	sparseMax int     // rows with count ≤ sparseMax stay sparse
+	rows      []hrow
+	active    []int32 // sources with ≥1 target, ascending after compose
+	pairs     int64   // Σ row counts, maintained incrementally
+}
+
+// sparseLimit converts a density threshold (fraction of n) into the
+// maximum sparse row count. A non-positive threshold selects the default;
+// thresholds ≥ 1 disable promotion entirely.
+func sparseLimit(n int, density float64) int {
+	if density <= 0 {
+		density = DefaultDensityThreshold
+	}
+	if density >= 1 {
+		return n
+	}
+	m := int(density * float64(n))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// NewHybrid returns an empty hybrid relation over an n-vertex universe.
+// density is the promotion threshold as a fraction of n (≤ 0 selects
+// DefaultDensityThreshold, ≥ 1 keeps every row sparse).
+func NewHybrid(n int, density float64) *HybridRelation {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative universe %d", n))
+	}
+	return &HybridRelation{n: n, sparseMax: sparseLimit(n, density), rows: make([]hrow, n)}
+}
+
+// HybridFromCSR builds the length-1 path relation of one label directly
+// from its CSR operand: row v holds op's successors of v, sparse or dense
+// per the threshold. Target slices are copied, never aliased, so the
+// relation can be pooled and its rows rewritten without corrupting the
+// operand.
+func HybridFromCSR(op CSROperand, density float64) *HybridRelation {
+	h := NewHybrid(op.N, density)
+	for v := 0; v < op.N; v++ {
+		ts := op.Targets[op.Offsets[v]:op.Offsets[v+1]]
+		if len(ts) == 0 {
+			continue
+		}
+		row := &h.rows[v]
+		row.count = int32(len(ts))
+		if len(ts) <= h.sparseMax {
+			row.ids = append(row.ids[:0], ts...)
+		} else {
+			row.dense = true
+			row.words = make([]uint64, (op.N+wordBits-1)/wordBits)
+			for _, t := range ts {
+				row.words[t>>6] |= 1 << (uint(t) & 63)
+			}
+		}
+		h.active = append(h.active, int32(v))
+		h.pairs += int64(len(ts))
+	}
+	return h
+}
+
+// Universe returns the vertex-universe size n.
+func (h *HybridRelation) Universe() int { return h.n }
+
+// Pairs returns the total number of distinct pairs. O(1): per-row counts
+// are cached at construction time.
+func (h *HybridRelation) Pairs() int64 { return h.pairs }
+
+// Sources returns the number of sources with at least one target.
+func (h *HybridRelation) Sources() int { return len(h.active) }
+
+// RowCount returns the cached target count of source s.
+func (h *HybridRelation) RowCount(s int) int { return int(h.rows[s].count) }
+
+// RowDense reports whether source s is currently in dense form.
+func (h *HybridRelation) RowDense(s int) bool { return h.rows[s].dense }
+
+// Contains reports whether the pair (s, t) is present.
+func (h *HybridRelation) Contains(s, t int) bool {
+	row := &h.rows[s]
+	if row.count == 0 {
+		return false
+	}
+	if row.dense {
+		return row.words[t>>6]&(1<<(uint(t)&63)) != 0
+	}
+	_, ok := slices.BinarySearch(row.ids, int32(t))
+	return ok
+}
+
+// Reset empties the relation while keeping row and list capacity, readying
+// it for reuse from a pool. Dense word arrays are left dirty; every dense
+// fill overwrites them in full.
+func (h *HybridRelation) Reset() {
+	for _, s := range h.active {
+		row := &h.rows[s]
+		row.count = 0
+		row.dense = false
+		row.ids = row.ids[:0]
+	}
+	h.active = h.active[:0]
+	h.pairs = 0
+}
+
+// ForEachPair calls fn for every pair in ascending (s, t) order; it stops
+// early when fn returns false.
+func (h *HybridRelation) ForEachPair(fn func(s, t int) bool) {
+	for _, s := range h.active {
+		row := &h.rows[s]
+		if row.dense {
+			for wi, w := range row.words {
+				for w != 0 {
+					if !fn(int(s), wi*wordBits+bits.TrailingZeros64(w)) {
+						return
+					}
+					w &= w - 1
+				}
+			}
+		} else {
+			for _, t := range row.ids {
+				if !fn(int(s), int(t)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ToRelation converts to the dense reference representation (for tests and
+// interop with the legacy compose path).
+func (h *HybridRelation) ToRelation() *Relation {
+	r := NewRelation(h.n)
+	h.ForEachPair(func(s, t int) bool {
+		r.Add(s, t)
+		return true
+	})
+	return r
+}
+
+// EqualRelation reports whether h contains exactly the pairs of the dense
+// reference relation r.
+func (h *HybridRelation) EqualRelation(r *Relation) bool {
+	if h.n != r.Universe() || h.pairs != r.Pairs() {
+		return false
+	}
+	equal := true
+	h.ForEachPair(func(s, t int) bool {
+		if !r.Contains(s, t) {
+			equal = false
+		}
+		return equal
+	})
+	return equal
+}
+
+// ComposeScratch is the per-worker accumulator of the sparse×CSR kernel: a
+// dense bitmap plus the list of words touched by the scatter, so resetting
+// costs O(touched) instead of O(|V|/64). The dense×CSR kernel bypasses it
+// and unions directly into the destination row.
+type ComposeScratch struct {
+	words      []uint64
+	touched    []int32
+	wMin, wMax int32 // touched word index range of the current scatter
+}
+
+// NewComposeScratch returns a scratch accumulator for an n-vertex universe.
+func NewComposeScratch(n int) *ComposeScratch {
+	return &ComposeScratch{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// reset zeroes exactly the words the last scatter touched.
+func (scr *ComposeScratch) reset() {
+	for _, wi := range scr.touched {
+		scr.words[wi] = 0
+	}
+	scr.touched = scr.touched[:0]
+}
+
+// scatterSparse is the sparse×CSR kernel: for each intermediate vertex t in
+// the sorted id list, scatter t's CSR adjacency into the accumulator.
+// Returns the number of distinct targets accumulated. Cost is
+// O(Σ_t deg(t)), independent of |V|.
+func (scr *ComposeScratch) scatterSparse(ids []int32, op CSROperand) int {
+	count := 0
+	scr.wMin, scr.wMax = int32(len(scr.words)), -1
+	for _, t := range ids {
+		for _, u := range op.Targets[op.Offsets[t]:op.Offsets[t+1]] {
+			wi := u >> 6
+			bit := uint64(1) << (uint(u) & 63)
+			if scr.words[wi]&bit == 0 {
+				if scr.words[wi] == 0 {
+					scr.touched = append(scr.touched, wi)
+					if wi < scr.wMin {
+						scr.wMin = wi
+					}
+					if wi > scr.wMax {
+						scr.wMax = wi
+					}
+				}
+				scr.words[wi] |= bit
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// denseRowCompose is the dense×CSR kernel: for each set bit t of the dense
+// source row, union t's dense successor set into out word-parallel. out may
+// hold stale data — the first union overwrites it in full (copy), so no
+// pre-clearing is needed. Returns the population count of out, or 0 when no
+// bit had successors (out is then untouched garbage and must be ignored).
+func denseRowCompose(src []uint64, op CSROperand, out []uint64) int {
+	first := true
+	for wi, w := range src {
+		for w != 0 {
+			t := wi*wordBits + bits.TrailingZeros64(w)
+			w &= w - 1
+			d := op.Dense[t]
+			if d == nil {
+				continue
+			}
+			if first {
+				copy(out, d.words)
+				first = false
+			} else {
+				for i, dw := range d.words {
+					out[i] |= dw
+				}
+			}
+		}
+	}
+	if first {
+		return 0
+	}
+	count := 0
+	for _, w := range out {
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// emit stores the scatter accumulator into dst's row s, choosing the
+// sparse or dense form by dst's threshold, and resets the accumulator.
+func (scr *ComposeScratch) emit(dst *HybridRelation, s int32, count int) {
+	row := &dst.rows[s]
+	row.count = int32(count)
+	if count <= dst.sparseMax {
+		row.dense = false
+		row.ids = row.ids[:0]
+		if span := int(scr.wMax-scr.wMin) + 1; span <= 4*len(scr.touched) {
+			// Touched words are clustered: a bounded ascending scan is
+			// cheaper than sorting the touched list.
+			for wi := scr.wMin; wi <= scr.wMax; wi++ {
+				w := scr.words[wi]
+				base := wi * wordBits
+				for w != 0 {
+					row.ids = append(row.ids, base+int32(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+		} else {
+			slices.Sort(scr.touched)
+			for _, wi := range scr.touched {
+				w := scr.words[wi]
+				base := wi * wordBits
+				for w != 0 {
+					row.ids = append(row.ids, base+int32(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+		}
+	} else {
+		row.dense = true
+		if row.words == nil {
+			row.words = make([]uint64, len(scr.words))
+		}
+		// Full overwrite: untouched scratch words are zero, so this is the
+		// complete row.
+		copy(row.words, scr.words)
+	}
+	dst.active = append(dst.active, s)
+	dst.pairs += int64(count)
+	scr.reset()
+}
+
+// ComposeInto computes the relational composition h ∘ op into dst:
+//
+//	(s, u) ∈ dst  ⇔  ∃t: (s, t) ∈ h ∧ u ∈ op.successors(t)
+//
+// dst is reset first and its rows are reused in place, so steady-state
+// composition allocates nothing. Each input row dispatches to the kernel
+// matching its representation: sparse rows scatter through the CSR arrays,
+// dense rows union the operand's dense sets word-parallel. Returns the
+// distinct-pair count of dst. h and dst must be distinct objects over the
+// same universe as op.
+func (h *HybridRelation) ComposeInto(dst *HybridRelation, op CSROperand, scr *ComposeScratch) int64 {
+	if op.N != h.n {
+		panic(fmt.Sprintf("bitset: operand universe %d != relation universe %d", op.N, h.n))
+	}
+	if dst == h {
+		panic("bitset: ComposeInto aliasing dst == receiver")
+	}
+	dst.Reset()
+	for _, s := range h.active {
+		row := &h.rows[s]
+		if row.dense {
+			drow := &dst.rows[s]
+			if drow.words == nil {
+				drow.words = make([]uint64, len(scr.words))
+			}
+			count := denseRowCompose(row.words, op, drow.words)
+			if count == 0 {
+				continue
+			}
+			drow.count = int32(count)
+			if count <= dst.sparseMax {
+				// Demote: extract the sorted ids; the dirty words are
+				// ignored until the next dense fill overwrites them.
+				drow.dense = false
+				drow.ids = drow.ids[:0]
+				for wi, w := range drow.words {
+					base := int32(wi * wordBits)
+					for w != 0 {
+						drow.ids = append(drow.ids, base+int32(bits.TrailingZeros64(w)))
+						w &= w - 1
+					}
+				}
+			} else {
+				drow.dense = true
+			}
+			dst.active = append(dst.active, s)
+			dst.pairs += int64(count)
+			continue
+		}
+		count := scr.scatterSparse(row.ids, op)
+		if count == 0 {
+			scr.reset()
+			continue
+		}
+		scr.emit(dst, s, count)
+	}
+	return dst.pairs
+}
+
+// Compose is the allocating convenience form of ComposeInto, for callers
+// outside the pooled census loop.
+func (h *HybridRelation) Compose(op CSROperand, density float64) *HybridRelation {
+	dst := NewHybrid(h.n, density)
+	h.ComposeInto(dst, op, NewComposeScratch(h.n))
+	return dst
+}

@@ -1,0 +1,199 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomOperand builds a CSROperand with ~m random edges over n vertices,
+// plus the matching dense sets, mirroring graph.CSR.LabelOperand.
+func randomOperand(rng *rand.Rand, n, m int) CSROperand {
+	adj := make(map[int]map[int]bool)
+	for i := 0; i < m; i++ {
+		s, t := rng.Intn(n), rng.Intn(n)
+		if adj[s] == nil {
+			adj[s] = make(map[int]bool)
+		}
+		adj[s][t] = true
+	}
+	op := CSROperand{N: n, Offsets: make([]int32, n+1), Dense: make([]*Set, n)}
+	for v := 0; v < n; v++ {
+		op.Offsets[v+1] = op.Offsets[v]
+		if len(adj[v]) == 0 {
+			continue
+		}
+		d := New(n)
+		for t := range adj[v] {
+			d.Add(t)
+		}
+		op.Dense[v] = d
+		d.ForEach(func(t int) bool {
+			op.Targets = append(op.Targets, int32(t))
+			op.Offsets[v+1]++
+			return true
+		})
+	}
+	return op
+}
+
+// legacyFromOperand builds the dense reference relation of an operand.
+func legacyFromOperand(op CSROperand) *Relation {
+	r := NewRelation(op.N)
+	for v := 0; v < op.N; v++ {
+		for _, t := range op.Targets[op.Offsets[v]:op.Offsets[v+1]] {
+			r.Add(v, int(t))
+		}
+	}
+	return r
+}
+
+func TestHybridFromCSRMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 64, 65, 300} {
+		for _, density := range []float64{1e-9, 0.03125, 0.5, 1.0} {
+			op := randomOperand(rng, n, n*3)
+			h := HybridFromCSR(op, density)
+			want := legacyFromOperand(op)
+			if !h.EqualRelation(want) {
+				t.Fatalf("n=%d density=%v: hybrid != legacy", n, density)
+			}
+			if h.Pairs() != want.Pairs() {
+				t.Fatalf("n=%d density=%v: pairs %d != %d", n, density, h.Pairs(), want.Pairs())
+			}
+		}
+	}
+}
+
+// TestHybridComposeMatchesLegacy is the core kernel property test: the
+// hybrid compose (whatever mix of sparse×CSR and dense×CSR kernels it
+// dispatches) must produce exactly the pairs of the legacy dense compose,
+// across densities that force all-sparse, mixed, and all-dense rows.
+func TestHybridComposeMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		opA := randomOperand(rng, n, 1+rng.Intn(4*n))
+		opB := randomOperand(rng, n, 1+rng.Intn(4*n))
+		want := legacyFromOperand(opA).Compose(opB.Dense)
+		for _, density := range []float64{1e-9, 0.03125, 0.25, 1.0} {
+			h := HybridFromCSR(opA, density)
+			got := h.Compose(opB, density)
+			if !got.EqualRelation(want) {
+				t.Fatalf("trial %d n=%d density=%v: compose mismatch", trial, n, density)
+			}
+			if got.Pairs() != want.Pairs() {
+				t.Fatalf("trial %d n=%d density=%v: pairs %d != %d",
+					trial, n, density, got.Pairs(), want.Pairs())
+			}
+		}
+	}
+}
+
+// TestHybridComposeIntoReuse checks the pooling contract: a destination
+// reused across many ComposeInto calls (including after holding dense rows)
+// always equals a freshly allocated result.
+func TestHybridComposeIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 150
+	dst := NewHybrid(n, 0.1)
+	scr := NewComposeScratch(n)
+	for trial := 0; trial < 30; trial++ {
+		opA := randomOperand(rng, n, 1+rng.Intn(6*n))
+		opB := randomOperand(rng, n, 1+rng.Intn(6*n))
+		h := HybridFromCSR(opA, 0.1)
+		h.ComposeInto(dst, opB, scr)
+		want := legacyFromOperand(opA).Compose(opB.Dense)
+		if !dst.EqualRelation(want) {
+			t.Fatalf("trial %d: reused dst diverged from fresh compose", trial)
+		}
+	}
+}
+
+func TestHybridPromotionRule(t *testing.T) {
+	const n = 640
+	op := CSROperand{N: n, Offsets: make([]int32, n+1), Dense: make([]*Set, n)}
+	// Source 0 has exactly n/32 targets (at the memory-parity threshold);
+	// source 1 has n/32 + 1 (just past it).
+	limit := n / 32
+	d0, d1 := New(n), New(n)
+	for i := 0; i < limit; i++ {
+		op.Targets = append(op.Targets, int32(i))
+		d0.Add(i)
+	}
+	op.Offsets[1] = int32(limit)
+	for i := 0; i <= limit; i++ {
+		op.Targets = append(op.Targets, int32(i))
+		d1.Add(i)
+	}
+	for v := 1; v < n; v++ {
+		op.Offsets[v+1] = op.Offsets[v]
+	}
+	op.Offsets[2] = op.Offsets[1] + int32(limit) + 1
+	for v := 2; v <= n; v++ {
+		op.Offsets[v] = op.Offsets[2]
+	}
+	op.Dense[0], op.Dense[1] = d0, d1
+	h := HybridFromCSR(op, 0) // default threshold = 1/32
+	if h.RowDense(0) {
+		t.Fatalf("row with count=|V|/32 should stay sparse")
+	}
+	if !h.RowDense(1) {
+		t.Fatalf("row with count=|V|/32+1 should promote to dense")
+	}
+	if h.RowCount(0) != limit || h.RowCount(1) != limit+1 {
+		t.Fatalf("cached counts wrong: %d, %d", h.RowCount(0), h.RowCount(1))
+	}
+}
+
+func TestHybridPairsCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	op := randomOperand(rng, 128, 500)
+	h := HybridFromCSR(op, 0.1)
+	want := legacyFromOperand(op).Pairs()
+	for i := 0; i < 3; i++ {
+		if h.Pairs() != want {
+			t.Fatalf("Pairs() = %d, want %d", h.Pairs(), want)
+		}
+	}
+}
+
+func TestHybridResetKeepsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	op := randomOperand(rng, 64, 300)
+	h := HybridFromCSR(op, 0.5)
+	h.Reset()
+	if h.Pairs() != 0 || h.Sources() != 0 {
+		t.Fatalf("reset relation not empty: pairs=%d sources=%d", h.Pairs(), h.Sources())
+	}
+	h.ForEachPair(func(s, t2 int) bool {
+		t.Fatalf("reset relation yielded pair (%d,%d)", s, t2)
+		return false
+	})
+}
+
+func TestHybridComposeAliasPanics(t *testing.T) {
+	op := randomOperand(rand.New(rand.NewSource(6)), 32, 50)
+	h := HybridFromCSR(op, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased ComposeInto should panic")
+		}
+	}()
+	h.ComposeInto(h, op, NewComposeScratch(32))
+}
+
+func TestHybridContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	op := randomOperand(rng, 90, 400)
+	want := legacyFromOperand(op)
+	for _, density := range []float64{1e-9, 1.0} {
+		h := HybridFromCSR(op, density)
+		for s := 0; s < 90; s++ {
+			for t2 := 0; t2 < 90; t2++ {
+				if h.Contains(s, t2) != want.Contains(s, t2) {
+					t.Fatalf("density=%v: Contains(%d,%d) mismatch", density, s, t2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// PerfBenchK is the path-length bound every perf-bench census runs at.
+const PerfBenchK = 3
+
+// SkewedScalingGraph is the worker-scaling workload shared by RunPerfBench
+// and the top-level BenchmarkCensusSkewedScaling, so `go test -bench` and
+// the committed BENCH_*.json measure the same graph: an Erdős–Rényi
+// topology whose labels follow Zipf s=1.8 (one label carries most edges —
+// the distribution that load-imbalances per-first-label parallelism).
+func SkewedScalingGraph() *graph.CSR {
+	return dataset.ErdosRenyi(600, 7000, dataset.NewZipfLabels(6, 1.8), 3).Freeze()
+}
+
+// PerfResult is one timed perf-bench measurement: a named operation on a
+// named dataset at a worker count, averaged over Iters runs.
+type PerfResult struct {
+	Name    string  `json:"name"`    // e.g. "census/hybrid" or "compose/sparse-csr"
+	Dataset string  `json:"dataset"` // Table 3 dataset or synthetic generator name
+	K       int     `json:"k,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	Iters   int     `json:"iters"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"` // filled for engine pairs
+}
+
+// PerfReport is the committed BENCH_*.json artifact: a snapshot of the
+// census and compose-kernel performance so the trajectory is tracked
+// across PRs.
+type PerfReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      float64      `json:"scale"`
+	Results    []PerfResult `json:"results"`
+}
+
+// WriteJSON encodes the report, indented, to w.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// timeOp runs fn iters times and returns the mean ns/op.
+func timeOp(iters int, fn func()) int64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// RunPerfBench measures the census engines (legacy sequential vs hybrid
+// work-stealing at several worker counts) on the synthetic Table 3
+// datasets plus a skewed-label scaling graph, and the compose kernels in
+// isolation. scale/iters default to 0.05/3 when ≤ 0.
+func RunPerfBench(scale float64, iters int) *PerfReport {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	rep := &PerfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	const k = PerfBenchK
+
+	// Census engines on the synthetic Table 3 datasets.
+	for _, specIdx := range []int{2, 3} { // SNAP-ER, SNAP-FF
+		spec := dataset.Table3()[specIdx]
+		g := dataset.Generate(spec, scale, 1).Freeze()
+		legacy := timeOp(iters, func() { paths.NewCensus(g, k) })
+		rep.Results = append(rep.Results, PerfResult{
+			Name: "census/legacy", Dataset: spec.Name, K: k, Workers: 1,
+			Iters: iters, NsPerOp: legacy,
+		})
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			ns := timeOp(iters, func() {
+				paths.NewCensusHybrid(g, k, paths.CensusOptions{Workers: workers})
+			})
+			rep.Results = append(rep.Results, PerfResult{
+				Name: "census/hybrid", Dataset: spec.Name, K: k, Workers: workers,
+				Iters: iters, NsPerOp: ns,
+				Speedup: float64(legacy) / float64(ns),
+			})
+			if workers == runtime.GOMAXPROCS(0) && workers == 1 {
+				break // avoid duplicate row on single-core hosts
+			}
+		}
+	}
+
+	// Worker scaling on a skewed label distribution — the load-imbalance
+	// case the work-stealing scheduler exists for.
+	skew := SkewedScalingGraph()
+	var base int64
+	seen := map[int]bool{}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		ns := timeOp(iters, func() {
+			paths.NewCensusHybrid(skew, k, paths.CensusOptions{Workers: workers})
+		})
+		res := PerfResult{
+			Name: "census/hybrid-skewed", Dataset: "erdos-renyi-zipf1.8",
+			K: k, Workers: workers, Iters: iters, NsPerOp: ns,
+		}
+		if base == 0 {
+			base = ns
+		} else {
+			res.Speedup = float64(base) / float64(ns)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	// Compose kernels in isolation on SNAP-FF label 0.
+	g := dataset.Generate(dataset.Table3()[3], 2*scale, 1).Freeze()
+	op := g.LabelOperand(0)
+	kernIters := iters * 20
+	legacyRel := g.EdgeRelation(0)
+	succ := g.SuccessorSets(0)
+	legacyNs := timeOp(kernIters, func() { legacyRel.Compose(succ) })
+	rep.Results = append(rep.Results, PerfResult{
+		Name: "compose/legacy-dense", Dataset: "SNAP-FF", Iters: kernIters, NsPerOp: legacyNs,
+	})
+	for _, kern := range []struct {
+		name    string
+		density float64
+	}{
+		{"compose/sparse-csr", 1.0},
+		{"compose/dense-csr", 1e-9},
+		{"compose/adaptive", 0},
+	} {
+		rel := bitset.HybridFromCSR(op, kern.density)
+		dst := bitset.NewHybrid(op.N, kern.density)
+		scr := bitset.NewComposeScratch(op.N)
+		ns := timeOp(kernIters, func() { rel.ComposeInto(dst, op, scr) })
+		rep.Results = append(rep.Results, PerfResult{
+			Name: kern.name, Dataset: "SNAP-FF", Iters: kernIters, NsPerOp: ns,
+			Speedup: float64(legacyNs) / float64(ns),
+		})
+	}
+	return rep
+}

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -153,6 +154,10 @@ func (g *Graph) Freeze() *CSR {
 		numEdges:    len(edges),
 		offsets:     make([][]int32, g.numLabels),
 		targets:     make([][]int32, g.numLabels),
+		succ:        make([][]*bitset.Set, g.numLabels),
+		pred:        make([][]*bitset.Set, g.numLabels),
+		succOnce:    make([]sync.Once, g.numLabels),
+		predOnce:    make([]sync.Once, g.numLabels),
 	}
 	for l := 0; l < g.numLabels; l++ {
 		c.offsets[l] = make([]int32, g.numVertices+1)
@@ -192,10 +197,13 @@ type CSR struct {
 	offsets [][]int32
 	targets [][]int32
 
-	// succ[l][v] is built lazily by SuccessorSets; pred[l][v] by
-	// PredecessorSets.
-	succ [][]*bitset.Set
-	pred [][]*bitset.Set
+	// succ[l] is built lazily by SuccessorSets; pred[l] by
+	// PredecessorSets. The sync.Once guards make the first build per label
+	// safe under concurrent callers.
+	succ     [][]*bitset.Set
+	pred     [][]*bitset.Set
+	succOnce []sync.Once
+	predOnce []sync.Once
 }
 
 // NumVertices returns |V|.
@@ -232,54 +240,83 @@ func (c *CSR) LabelFrequencies() []int64 {
 
 // SuccessorSets returns, for label l, a per-vertex successor bit set table
 // suitable for bitset.Relation.Compose. Rows for vertices with no
-// successors are nil. The table is built once per label and cached; it is
-// safe to call repeatedly but not concurrently with the first call per
-// label.
+// successors are nil. The table is built once per label and cached behind a
+// sync.Once, so concurrent first calls are safe.
 func (c *CSR) SuccessorSets(l int) []*bitset.Set {
-	if c.succ == nil {
-		c.succ = make([][]*bitset.Set, c.numLabels)
-	}
-	if c.succ[l] != nil {
-		return c.succ[l]
-	}
-	tab := make([]*bitset.Set, c.numVertices)
-	for v := 0; v < c.numVertices; v++ {
-		ts := c.Successors(v, l)
-		if len(ts) == 0 {
-			continue
+	c.succOnce[l].Do(func() {
+		tab := make([]*bitset.Set, c.numVertices)
+		for v := 0; v < c.numVertices; v++ {
+			ts := c.Successors(v, l)
+			if len(ts) == 0 {
+				continue
+			}
+			s := bitset.New(c.numVertices)
+			for _, t := range ts {
+				s.Add(int(t))
+			}
+			tab[v] = s
 		}
-		s := bitset.New(c.numVertices)
-		for _, t := range ts {
-			s.Add(int(t))
-		}
-		tab[v] = s
-	}
-	c.succ[l] = tab
-	return tab
+		c.succ[l] = tab
+	})
+	return c.succ[l]
 }
 
 // PredecessorSets returns, for label l, a per-vertex predecessor bit set
 // table: pred[v] contains every u with (u, l, v) ∈ E. Used by backward
-// (right-to-left) path evaluation. Built once per label and cached, with
-// the same concurrency caveat as SuccessorSets.
+// (right-to-left) path evaluation. Built once per label and cached behind a
+// sync.Once, so concurrent first calls are safe.
 func (c *CSR) PredecessorSets(l int) []*bitset.Set {
-	if c.pred == nil {
-		c.pred = make([][]*bitset.Set, c.numLabels)
-	}
-	if c.pred[l] != nil {
-		return c.pred[l]
-	}
-	tab := make([]*bitset.Set, c.numVertices)
-	for v := 0; v < c.numVertices; v++ {
-		for _, t := range c.Successors(v, l) {
-			if tab[t] == nil {
-				tab[t] = bitset.New(c.numVertices)
+	c.predOnce[l].Do(func() {
+		tab := make([]*bitset.Set, c.numVertices)
+		for v := 0; v < c.numVertices; v++ {
+			for _, t := range c.Successors(v, l) {
+				if tab[t] == nil {
+					tab[t] = bitset.New(c.numVertices)
+				}
+				tab[t].Add(v)
 			}
-			tab[t].Add(v)
+		}
+		c.pred[l] = tab
+	})
+	return c.pred[l]
+}
+
+// LabelOperand returns label l's adjacency as a dual-form compose operand:
+// the CSR arrays for the sparse scatter kernel plus the dense successor
+// sets for the word-parallel kernel. The CSR slices alias internal storage
+// and must not be modified. Safe for concurrent callers.
+func (c *CSR) LabelOperand(l int) bitset.CSROperand {
+	op := c.LabelCSR(l)
+	op.Dense = c.SuccessorSets(l)
+	return op
+}
+
+// LabelCSR returns label l's adjacency as a CSR-only compose operand, with
+// no dense successor sets. Sufficient for engines configured to keep every
+// relation row sparse, which never touch the dense kernel.
+func (c *CSR) LabelCSR(l int) bitset.CSROperand {
+	return bitset.CSROperand{
+		N:       c.numVertices,
+		Offsets: c.offsets[l],
+		Targets: c.targets[l],
+	}
+}
+
+// Operands eagerly builds and returns the compose operands of every label.
+// The census engines call this once up front so the hot loop never pays
+// (or races on) lazy initialization. withDense selects the dual-form
+// operands; false skips building the per-label dense successor tables
+// (O(|L|·sources·|V|/8) bytes) for sparse-only configurations.
+func (c *CSR) Operands(withDense bool) []bitset.CSROperand {
+	ops := make([]bitset.CSROperand, c.numLabels)
+	for l := 0; l < c.numLabels; l++ {
+		if withDense {
+			ops[l] = c.LabelOperand(l)
+		} else {
+			ops[l] = c.LabelCSR(l)
 		}
 	}
-	c.pred[l] = tab
-	return tab
+	return ops
 }
 
 // EdgeRelation returns label l's edge set as a bitset.Relation (the set of

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -242,5 +243,71 @@ func TestEdgeRelation(t *testing.T) {
 	}
 	if c.EdgeRelation(0).Pairs() != 0 {
 		t.Fatal("label 0 relation should be empty")
+	}
+}
+
+// TestLazyInitConcurrent hammers the lazily built successor/predecessor
+// tables from many goroutines at once. Run under -race this pins the
+// sync.Once guard that replaced the old "force construction up front"
+// workaround in the parallel census.
+func TestLazyInitConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := New(60, 4)
+	for i := 0; i < 400; i++ {
+		g.AddEdge(rng.Intn(60), rng.Intn(4), rng.Intn(60))
+	}
+	c := g.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for l := 0; l < 4; l++ {
+				succ := c.SuccessorSets(l)
+				pred := c.PredecessorSets(l)
+				op := c.LabelOperand(l)
+				if len(succ) != 60 || len(pred) != 60 || op.N != 60 {
+					t.Errorf("worker %d label %d: bad table sizes", w, l)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All goroutines must have observed the same cached tables.
+	for l := 0; l < 4; l++ {
+		if &c.SuccessorSets(l)[0] != &c.LabelOperand(l).Dense[0] {
+			t.Fatalf("label %d: operand does not share the cached successor table", l)
+		}
+	}
+}
+
+// TestLabelOperandMatchesCSR checks the dual forms of an operand agree.
+func TestLabelOperandMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := New(40, 3)
+	for i := 0; i < 200; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(3), rng.Intn(40))
+	}
+	c := g.Freeze()
+	ops := c.Operands(true)
+	if len(ops) != 3 {
+		t.Fatalf("got %d operands", len(ops))
+	}
+	for l, op := range ops {
+		for v := 0; v < 40; v++ {
+			ts := op.Targets[op.Offsets[v]:op.Offsets[v+1]]
+			if len(ts) != c.OutDegree(v, l) || op.OutDegree(v) != c.OutDegree(v, l) {
+				t.Fatalf("label %d vertex %d: CSR degree mismatch", l, v)
+			}
+			d := op.Dense[v]
+			if (d == nil) != (len(ts) == 0) {
+				t.Fatalf("label %d vertex %d: dense row nil-ness disagrees", l, v)
+			}
+			for _, tgt := range ts {
+				if !d.Contains(int(tgt)) {
+					t.Fatalf("label %d: dense row missing target %d of %d", l, tgt, v)
+				}
+			}
+		}
 	}
 }

@@ -1,57 +1,17 @@
 package paths
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-
-	"repro/internal/combinat"
-	"repro/internal/graph"
-)
+import "repro/internal/graph"
 
 // NewCensusParallel computes the same census as NewCensus using up to
-// `workers` goroutines (≤ 0 means GOMAXPROCS). The label trie decomposes
-// into |L| independent subtrees — one per first label — and every path has
-// exactly one first label, so the workers write disjoint regions of the
-// frequency vector and the result is bit-identical to the sequential
-// census. This is the scale lever for the paper-size runs (DBpedia at
-// k = 6 visits ~300k trie nodes with ~40k-row relations).
+// `workers` goroutines (≤ 0 means GOMAXPROCS). It is the compatibility
+// entry point onto the hybrid engine (NewCensusHybrid): pooled hybrid
+// sparse/dense relations with a work-stealing scheduler that splits
+// subtrees at any trie depth, so workers are no longer capped at |L| and
+// skewed first-label distributions no longer serialize on one goroutine.
+// Every trie node is still computed exactly once by exactly one worker, so
+// the result is bit-identical to the sequential census. Lazy successor-set
+// initialization in graph.CSR is sync.Once-guarded, so no up-front forcing
+// is needed.
 func NewCensusParallel(g *graph.CSR, k, workers int) *Census {
-	if k < 1 {
-		panic(fmt.Sprintf("paths: census needs k ≥ 1, got %d", k))
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > g.NumLabels() {
-		workers = g.NumLabels()
-	}
-	// SuccessorSets builds lazily and is not safe for concurrent first
-	// calls; force construction up front.
-	for l := 0; l < g.NumLabels(); l++ {
-		g.SuccessorSets(l)
-	}
-	c := &Census{
-		numLabels: g.NumLabels(),
-		k:         k,
-		freq:      make([]int64, combinat.GeometricSum(int64(g.NumLabels()), int64(k))),
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for l := range jobs {
-				p := make(Path, 0, k)
-				c.censusDFS(g, append(p, l), g.EdgeRelation(l))
-			}
-		}()
-	}
-	for l := 0; l < g.NumLabels(); l++ {
-		jobs <- l
-	}
-	close(jobs)
-	wg.Wait()
-	return c
+	return NewCensusHybrid(g, k, CensusOptions{Workers: workers})
 }

@@ -7,6 +7,12 @@
 // f(ℓ) for every ℓ ∈ Lk (all label paths of length 1…k) by a DFS over the
 // label trie, extending each prefix's pair relation by one label via
 // bit-parallel relational composition.
+//
+// Two census engines compute identical results: NewCensus, the simple
+// allocating reference implementation on dense bitset.Relation rows, and
+// NewCensusHybrid (reached via NewCensusParallel), the production engine
+// on pooled hybrid sparse/dense relations with work-stealing trie
+// parallelism. Property tests in equivalence_test.go pin them bit-identical.
 package paths
 
 import (

@@ -15,6 +15,23 @@
 //	    Buckets:       256,
 //	})
 //	sel, err := est.Estimate("knows/likes")
+//
+// # Performance
+//
+// Build's dominant cost is the exact selectivity census: a DFS over the
+// label trie that extends each prefix's vertex-pair relation by one label
+// via relational composition. The census runs on a hybrid sparse/dense
+// engine: each relation row (the target set of one source vertex) starts
+// as a sorted sparse id list and promotes to a dense bit array once its
+// population exceeds DensityThreshold × |V| (default 1/32, the memory
+// crossover point between the two forms); compose kernels are specialized
+// per representation (sparse rows scatter through the graph's CSR
+// adjacency, dense rows union precomputed successor bit sets
+// word-parallel). Relations are pooled per worker so the steady-state DFS
+// allocates nothing, and subtrees are distributed by a work-stealing
+// scheduler that splits at any trie depth, so skewed label distributions
+// scale past |L| workers. Config.Workers and Config.DensityThreshold
+// expose the knobs; every setting produces bit-identical results.
 package pathsel
 
 import (
@@ -163,6 +180,20 @@ type Config struct {
 	Histogram string
 	// Buckets is the bucket budget β (≥ 1).
 	Buckets int
+
+	// Workers is the census worker-goroutine count (≤ 0 means
+	// GOMAXPROCS). The census is computed by a work-stealing scheduler
+	// that splits label-trie subtrees at any depth, so worker counts above
+	// the label count still help on skewed label distributions.
+	Workers int
+	// DensityThreshold tunes the census's hybrid relation rows: a row
+	// (the target set of one source vertex) is kept as a sorted sparse id
+	// list until its population exceeds DensityThreshold × |V|, then
+	// promotes to a dense bit array. ≤ 0 selects the default (1/32, the
+	// memory crossover between the two forms); ≥ 1 keeps every row
+	// sparse. Purely a performance knob — results are identical at any
+	// setting.
+	DensityThreshold float64
 }
 
 func (c *Config) fill() error {
@@ -197,7 +228,9 @@ func Build(gr *Graph, cfg Config) (*Estimator, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	ph, census, err := core.BuildForGraph(gr.csr(), cfg.Ordering, cfg.Histogram, cfg.MaxPathLength, cfg.Buckets)
+	ph, census, err := core.BuildForGraphOptions(gr.csr(), cfg.Ordering, cfg.Histogram,
+		cfg.MaxPathLength, cfg.Buckets,
+		paths.CensusOptions{Workers: cfg.Workers, DensityThreshold: cfg.DensityThreshold})
 	if err != nil {
 		return nil, err
 	}
