@@ -24,6 +24,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/histogram"
@@ -478,4 +479,48 @@ func BenchmarkCensusSkewedScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkExecEngines measures query execution on SNAP-FF — the same
+// workload the BENCH_exec.json emitter times: the retired dense executor
+// against the hybrid engine for both endpoint plans, plus the
+// hybrid-only interior zig-zag start.
+func BenchmarkExecEngines(b *testing.B) {
+	g := dataset.Generate(dataset.Table3()[3], 0.1, 1).Freeze() // SNAP-FF
+	queries := experiments.ExecBenchQueries
+	b.Run("legacy-dense/forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exec.ExecuteDense(g, q, exec.Forward)
+			}
+		}
+	})
+	b.Run("hybrid/forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exec.ExecutePlan(g, q, exec.Plan{Start: 0}, exec.Options{})
+			}
+		}
+	})
+	b.Run("legacy-dense/backward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exec.ExecuteDense(g, q, exec.Backward)
+			}
+		}
+	})
+	b.Run("hybrid/backward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exec.ExecutePlan(g, q, exec.Plan{Start: len(q) - 1}, exec.Options{})
+			}
+		}
+	})
+	b.Run("hybrid/zigzag", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exec.ExecutePlan(g, q, exec.Plan{Start: 1}, exec.Options{})
+			}
+		}
+	})
 }

@@ -30,17 +30,26 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV result files into (created if missing)")
 	ds := flag.String("dataset", "", "restrict figure2/table3 to one Table 3 dataset name")
 	maxK := flag.Int("maxk", 0, "cap the accuracy sweep's path length bound (0 = configuration default)")
-	benchJSON := flag.String("bench-json", "", "run the census/compose perf bench and write a BENCH JSON report to this file, then exit")
+	benchJSON := flag.String("bench-json", "", "run the full census/compose/exec perf bench and write a BENCH JSON report to this file, then exit")
+	benchExecJSON := flag.String("bench-exec-json", "", "run only the query-execution perf bench and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	flag.Parse()
 
-	if *benchJSON != "" {
+	for _, b := range []struct {
+		path string
+		run  func() *experiments.PerfReport
+	}{
+		{*benchJSON, func() *experiments.PerfReport { return experiments.RunPerfBench(*scale, *benchIters) }},
+		{*benchExecJSON, func() *experiments.PerfReport { return experiments.RunExecBench(*scale, *benchIters) }},
+	} {
+		if b.path == "" {
+			continue
+		}
 		// Open the output before the (slow) measurement so a bad path
 		// fails fast.
-		f, err := os.Create(*benchJSON)
+		f, err := os.Create(b.path)
 		if err == nil {
-			rep := experiments.RunPerfBench(*scale, *benchIters)
-			err = rep.WriteJSON(f)
+			err = b.run().WriteJSON(f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -49,7 +58,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote perf bench report to %s\n", *benchJSON)
+		fmt.Printf("wrote perf bench report to %s\n", b.path)
+	}
+	if *benchJSON != "" || *benchExecJSON != "" {
 		return
 	}
 
@@ -185,7 +196,7 @@ func run(exp string, opt experiments.Options, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "Plan quality: join-direction planning from histogram estimates (Moreno, k=3)")
+			fmt.Fprintln(out, "Plan quality: zig-zag join planning from histogram estimates, k plans per query (Moreno, k=3)")
 			header := []string{"method", "beta", "oracle agreement", "work ratio"}
 			var rows [][]string
 			for _, c := range cells {

@@ -1,8 +1,10 @@
 // Planner scenario: the full loop from statistics to executed plans. This
 // example reaches below the public facade into the engine packages
 // (allowed within this module) to show what the experiments measure: a
-// histogram-driven planner choosing join directions, the executor carrying
-// them out, and the actual intermediate-result work compared against the
+// histogram-driven planner choosing among every zig-zag join plan of each
+// query — one plan per join start position, not just forward/backward —
+// the hybrid executor carrying the choice out, and the actual
+// intermediate-result volume of every plan compared against the
 // exact-statistics oracle.
 package main
 
@@ -40,22 +42,45 @@ func main() {
 		{0, 1, 2}, {5, 0, 0}, {1, 1, 1}, {3, 4, 0}, {0, 5, 5}, {2, 0, 1},
 	}
 	var chosenWork, bestWork int64
+	agree := 0
 	for _, q := range queries {
-		dir := planner.Choose(q)
-		_, st := exec.Execute(g, q, dir)
+		chosen := planner.ChoosePlan(q)
+		best := oracle.ChoosePlan(q)
+		estimated := planner.Costs(q)
 
-		odir := oracle.Choose(q)
-		_, ost := exec.Execute(g, q, odir)
-
-		chosenWork += st.Work
-		bestWork += ost.Work
-		match := " "
-		if dir == odir {
-			match = "✓"
+		// Execute every plan so estimated and actual volume line up per
+		// plan — the spread is what estimator quality buys.
+		fmt.Printf("query %s\n", q.Key())
+		var result int64
+		works := make([]int64, len(q))
+		for s := range q {
+			_, st := exec.ExecutePlan(g, q, exec.Plan{Start: s}, exec.Options{})
+			works[s] = st.Work
+			result = st.Result
+			mark := "  "
+			if s == chosen.Start {
+				mark = "←chosen"
+			}
+			if s == best.Start {
+				mark += " ←oracle"
+			}
+			fmt.Printf("  plan %-9s estimated=%-9.1f actual=%-7d %s\n",
+				(exec.Plan{Start: s}).Describe(len(q)), estimated[s], st.Work, mark)
 		}
-		fmt.Printf("query %-8s plan=%-8s work=%-7d oracle=%-8s optimal-work=%-7d %s (result %d pairs)\n",
-			q.Key(), dir, st.Work, odir, ost.Work, match, st.Result)
+		minWork := works[0]
+		for _, w := range works[1:] {
+			if w < minWork {
+				minWork = w
+			}
+		}
+		if works[chosen.Start] == minWork {
+			agree++
+		}
+		chosenWork += works[chosen.Start]
+		bestWork += minWork
+		fmt.Printf("  result %d pairs\n\n", result)
 	}
-	fmt.Printf("\ntotal executed work: %d vs oracle %d (%.2fx)\n",
+	fmt.Printf("chosen plans hit the optimum on %d/%d queries\n", agree, len(queries))
+	fmt.Printf("total executed work: %d vs oracle %d (%.2fx)\n",
 		chosenWork, bestWork, float64(chosenWork)/float64(bestWork))
 }

@@ -1,8 +1,3 @@
-// Package bitset provides a dense, fixed-capacity bit set used as the
-// kernel of the exact path-selectivity engine. Vertex sets and binary
-// relations over vertices are represented as bit sets so that relation
-// composition reduces to word-parallel unions and distinct-pair counting
-// reduces to popcounts.
 package bitset
 
 import (

@@ -1,0 +1,32 @@
+// Package bitset is the relation-representation layer of the
+// reproduction (graph → bitset → paths → exec → pathsel): vertex sets and
+// binary vertex relations, represented so that relational composition —
+// the innermost operation of both the selectivity census and query
+// execution — runs as tight array kernels.
+//
+// Two representations coexist:
+//
+//   - Set and Relation are the dense, fixed-capacity reference forms:
+//     every row is a bit array, composition is word-parallel unions, and
+//     distinct-pair counting is popcounts. They are the simple baseline
+//     that the equivalence tests pin the production engine against, and
+//     the form retired executors (exec.ExecuteDense, paths.EvaluateDense)
+//     still allocate.
+//
+//   - HybridRelation is the production form: each source row adaptively
+//     switches between a sorted sparse id list and a dense bit array at a
+//     density threshold, rows and destination relations are pooled
+//     (ComposeInto, ReverseInto reuse capacity), and the compose kernels
+//     are specialized per representation — sparse rows scatter through a
+//     label's CSR adjacency (CSROperand), dense rows union precomputed
+//     successor bit sets word-parallel. Executor operations (Reverse,
+//     UnionWith, Equal) live in hybridops.go.
+//
+// Knobs: the density threshold, set per relation at construction
+// (NewHybrid, HybridFromCSR) as a fraction of the vertex universe |V|.
+// A row promotes to dense when its population exceeds threshold × |V|.
+// ≤ 0 selects DefaultDensityThreshold = 1/32 — the memory crossover,
+// since a sorted int32 id costs 32 bits against 1 bit per universe slot —
+// and ≥ 1 pins every row sparse. The threshold changes performance only,
+// never results.
+package bitset

@@ -48,7 +48,7 @@ type hrow struct {
 // kernels write into a destination relation instead of allocating one.
 type HybridRelation struct {
 	n         int
-	sparseMax int     // rows with count ≤ sparseMax stay sparse
+	sparseMax int // rows with count ≤ sparseMax stay sparse
 	rows      []hrow
 	active    []int32 // sources with ≥1 target, ascending after compose
 	pairs     int64   // Σ row counts, maintained incrementally

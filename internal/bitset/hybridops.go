@@ -1,0 +1,218 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// This file holds the executor-facing HybridRelation operations — reversal
+// and row-wise union — added when query execution (internal/exec,
+// paths.Evaluate, paths.UnionSelectivity) moved off the legacy dense
+// Relation onto the hybrid substrate. The census engine needs only
+// ComposeInto (hybrid.go); the executor additionally reverses relations
+// (to grow a zig-zag join leftward via predecessor operands) and unions
+// them (to answer pattern/disjunction queries under set semantics).
+
+// ReverseInto computes the inverse relation into dst: (t, s) ∈ dst for
+// every (s, t) ∈ h. dst is reset first and its rows are reused in place,
+// so a pooled destination makes steady-state reversal allocation-free
+// apart from one transient per-universe count array. Each output row picks
+// its sparse or dense form up front from an exact count, so no row is
+// built twice. h and dst must be distinct objects over the same universe.
+func (h *HybridRelation) ReverseInto(dst *HybridRelation) {
+	if dst == h {
+		panic("bitset: ReverseInto aliasing dst == receiver")
+	}
+	if dst.n != h.n {
+		panic(fmt.Sprintf("bitset: ReverseInto universe %d != %d", dst.n, h.n))
+	}
+	dst.Reset()
+	if h.pairs == 0 {
+		return
+	}
+	// Pass 1: per-target counts fix every output row's final population,
+	// and therefore its representation, before any id is written.
+	counts := make([]int32, h.n)
+	for _, s := range h.active {
+		row := &h.rows[s]
+		if row.dense {
+			for wi, w := range row.words {
+				for w != 0 {
+					counts[wi*wordBits+bits.TrailingZeros64(w)]++
+					w &= w - 1
+				}
+			}
+		} else {
+			for _, t := range row.ids {
+				counts[t]++
+			}
+		}
+	}
+	words := (h.n + wordBits - 1) / wordBits
+	for t, c := range counts {
+		if c == 0 {
+			continue
+		}
+		row := &dst.rows[t]
+		row.count = c
+		if int(c) > dst.sparseMax {
+			row.dense = true
+			if row.words == nil {
+				row.words = make([]uint64, words)
+			} else {
+				clear(row.words)
+			}
+		} else {
+			row.ids = slices.Grow(row.ids[:0], int(c))
+		}
+		dst.active = append(dst.active, int32(t))
+		dst.pairs += int64(c)
+	}
+	// Pass 2: pairs arrive in ascending (s, t) order, so per output row t
+	// the sources s arrive ascending and sparse appends stay sorted.
+	h.ForEachPair(func(s, t int) bool {
+		row := &dst.rows[t]
+		if row.dense {
+			row.words[s>>6] |= 1 << (uint(s) & 63)
+		} else {
+			row.ids = append(row.ids, int32(s))
+		}
+		return true
+	})
+}
+
+// Reverse is the allocating convenience form of ReverseInto. The result
+// inherits h's density threshold.
+func (h *HybridRelation) Reverse() *HybridRelation {
+	dst := &HybridRelation{n: h.n, sparseMax: h.sparseMax, rows: make([]hrow, h.n)}
+	h.ReverseInto(dst)
+	return dst
+}
+
+// Equal reports whether h and o contain exactly the same pairs,
+// regardless of per-row representation or density threshold.
+func (h *HybridRelation) Equal(o *HybridRelation) bool {
+	if h.n != o.n || h.pairs != o.pairs {
+		return false
+	}
+	equal := true
+	h.ForEachPair(func(s, t int) bool {
+		if !o.Contains(s, t) {
+			equal = false
+		}
+		return equal
+	})
+	return equal
+}
+
+// UnionWith sets h to h ∪ o row by row: sparse rows merge sorted id lists,
+// dense rows union word-parallel, and a row whose merged population
+// crosses h's threshold promotes to dense in place (union never demotes —
+// populations only grow). Both relations must share a universe; o is left
+// untouched. This is the set-semantics accumulation step of
+// paths.UnionSelectivity.
+func (h *HybridRelation) UnionWith(o *HybridRelation) {
+	if o.n != h.n {
+		panic(fmt.Sprintf("bitset: UnionWith universe %d != %d", o.n, h.n))
+	}
+	if o == h || o.pairs == 0 {
+		return
+	}
+	var merged []int32 // scratch for sparse∪sparse, reused across rows
+	grew := false
+	for _, s := range o.active {
+		src := &o.rows[s]
+		row := &h.rows[s]
+		before := row.count
+		switch {
+		case row.count == 0:
+			// Fresh row: copy src's representation verbatim.
+			row.count = src.count
+			if src.dense {
+				row.dense = true
+				if row.words == nil {
+					row.words = make([]uint64, len(src.words))
+				}
+				copy(row.words, src.words)
+			} else {
+				row.ids = append(row.ids[:0], src.ids...)
+			}
+			h.active = append(h.active, s)
+			grew = true
+		case row.dense && src.dense:
+			n := 0
+			for i, w := range src.words {
+				row.words[i] |= w
+				n += bits.OnesCount64(row.words[i])
+			}
+			row.count = int32(n)
+		case row.dense: // src sparse
+			for _, t := range src.ids {
+				wi, bit := t>>6, uint64(1)<<(uint(t)&63)
+				if row.words[wi]&bit == 0 {
+					row.words[wi] |= bit
+					row.count++
+				}
+			}
+		case src.dense: // row sparse: promote, then OR
+			ids := row.ids
+			if row.words == nil {
+				row.words = make([]uint64, len(src.words))
+				copy(row.words, src.words)
+			} else {
+				copy(row.words, src.words)
+			}
+			row.dense = true
+			row.ids = ids[:0]
+			for _, t := range ids {
+				row.words[t>>6] |= 1 << (uint(t) & 63)
+			}
+			n := 0
+			for _, w := range row.words {
+				n += bits.OnesCount64(w)
+			}
+			row.count = int32(n)
+		default: // both sparse: linear merge of two sorted lists
+			merged = merged[:0]
+			a, b := row.ids, src.ids
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					merged = append(merged, a[i])
+					i++
+				case a[i] > b[j]:
+					merged = append(merged, b[j])
+					j++
+				default:
+					merged = append(merged, a[i])
+					i++
+					j++
+				}
+			}
+			merged = append(merged, a[i:]...)
+			merged = append(merged, b[j:]...)
+			row.count = int32(len(merged))
+			if len(merged) > h.sparseMax {
+				// Crossed the density threshold: promote in place.
+				if row.words == nil {
+					row.words = make([]uint64, (h.n+wordBits-1)/wordBits)
+				} else {
+					clear(row.words)
+				}
+				for _, t := range merged {
+					row.words[t>>6] |= 1 << (uint(t) & 63)
+				}
+				row.dense = true
+				row.ids = row.ids[:0]
+			} else {
+				row.ids = append(row.ids[:0], merged...)
+			}
+		}
+		h.pairs += int64(row.count - before)
+	}
+	if grew {
+		slices.Sort(h.active) // restore the ascending-source invariant
+	}
+}

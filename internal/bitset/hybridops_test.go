@@ -1,0 +1,174 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomHybridAndDense builds the same random relation in both
+// representations. density varies so rows land on both sides of the
+// promotion threshold.
+func randomHybridAndDense(rng *rand.Rand, n int, pairs int, density float64) (*HybridRelation, *Relation) {
+	h := NewHybrid(n, density)
+	r := NewRelation(n)
+	type pair struct{ s, t int }
+	seen := map[pair]bool{}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		p := pair{rng.Intn(n), rng.Intn(n)}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		ps = append(ps, p)
+		r.Add(p.s, p.t)
+	}
+	// Feed the hybrid via a one-off CSR operand so row forms are chosen by
+	// the same code paths production uses.
+	offsets := make([]int32, n+1)
+	for _, p := range ps {
+		offsets[p.s+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]int32, len(ps))
+	fill := make([]int32, n)
+	for _, p := range ps {
+		targets[offsets[p.s]+fill[p.s]] = int32(p.t)
+		fill[p.s]++
+	}
+	for v := 0; v < n; v++ {
+		row := targets[offsets[v]:offsets[v+1]]
+		for i := 1; i < len(row); i++ {
+			for j := i; j > 0 && row[j] < row[j-1]; j-- {
+				row[j], row[j-1] = row[j-1], row[j]
+			}
+		}
+	}
+	op := CSROperand{N: n, Offsets: offsets, Targets: targets}
+	got := HybridFromCSR(op, density)
+	h = got
+	return h, r
+}
+
+func TestHybridReverseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(150)
+		pairs := rng.Intn(4 * n)
+		density := []float64{0, 1e-9, 0.1, 1.0}[trial%4]
+		h, r := randomHybridAndDense(rng, n, pairs, density)
+		rev := h.Reverse()
+		if !rev.EqualRelation(r.Reverse()) {
+			t.Fatalf("trial %d (n=%d density=%v): hybrid reverse differs from dense", trial, n, density)
+		}
+		// Round trip returns the original.
+		if !rev.Reverse().EqualRelation(r) {
+			t.Fatalf("trial %d: double reverse is not the identity", trial)
+		}
+	}
+}
+
+func TestHybridReverseIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 80
+	dst := NewHybrid(n, 0)
+	for trial := 0; trial < 10; trial++ {
+		h, r := randomHybridAndDense(rng, n, rng.Intn(300), 0)
+		h.ReverseInto(dst) // same dst every time: rows must fully reset
+		if !dst.EqualRelation(r.Reverse()) {
+			t.Fatalf("trial %d: pooled ReverseInto differs from dense reverse", trial)
+		}
+	}
+}
+
+func TestHybridReversePanics(t *testing.T) {
+	h := NewHybrid(4, 0)
+	for name, fn := range map[string]func(){
+		"aliased dst":       func() { h.ReverseInto(h) },
+		"universe mismatch": func() { h.ReverseInto(NewHybrid(5, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHybridUnionWithMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(150)
+		// Mixed thresholds force every union case: sparse∪sparse (with and
+		// without promotion), sparse∪dense, dense∪sparse, dense∪dense.
+		da := []float64{0, 1e-9, 0.05, 1.0}[trial%4]
+		db := []float64{0.05, 1.0, 0, 1e-9}[trial%4]
+		a, ra := randomHybridAndDense(rng, n, rng.Intn(3*n), da)
+		b, rb := randomHybridAndDense(rng, n, rng.Intn(3*n), db)
+		a.UnionWith(b)
+		want := NewRelation(n)
+		for _, r := range []*Relation{ra, rb} {
+			r.ForEachRow(func(s int, targets *Set) bool {
+				targets.ForEach(func(t int) bool {
+					want.Add(s, t)
+					return true
+				})
+				return true
+			})
+		}
+		if !a.EqualRelation(want) {
+			t.Fatalf("trial %d (n=%d): hybrid union differs from dense union", trial, n)
+		}
+		// b must be untouched.
+		if !b.EqualRelation(rb) {
+			t.Fatalf("trial %d: UnionWith mutated its argument", trial)
+		}
+		// Active list must stay ascending: ForEachPair asserts order below.
+		last := -1
+		ordered := true
+		a.ForEachPair(func(s, tgt int) bool {
+			key := s*n + tgt
+			if key <= last {
+				ordered = false
+			}
+			last = key
+			return ordered
+		})
+		if !ordered {
+			t.Fatalf("trial %d: ForEachPair out of order after union", trial)
+		}
+	}
+}
+
+func TestHybridUnionWithSelfAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, r := randomHybridAndDense(rng, 50, 120, 0)
+	before := h.Pairs()
+	h.UnionWith(h) // no-op by definition
+	if h.Pairs() != before || !h.EqualRelation(r) {
+		t.Fatal("self-union changed the relation")
+	}
+	h.UnionWith(NewHybrid(50, 0)) // empty argument is a no-op
+	if !h.EqualRelation(r) {
+		t.Fatal("union with empty changed the relation")
+	}
+	empty := NewHybrid(50, 0)
+	empty.UnionWith(h)
+	if !empty.EqualRelation(r) {
+		t.Fatal("union into empty should copy")
+	}
+}
+
+func TestHybridUnionWithPanicsOnUniverseMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("universe mismatch should panic")
+		}
+	}()
+	NewHybrid(4, 0).UnionWith(NewHybrid(5, 0))
+}

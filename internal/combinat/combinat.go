@@ -1,5 +1,8 @@
 // Package combinat implements the combinatorial machinery behind the
-// sum-based histogram domain ordering of Yakovets et al. (EDBT 2018):
+// sum-based histogram domain ordering of Yakovets et al. (EDBT 2018) — a
+// leaf utility of the layer map (graph → bitset → paths → exec →
+// pathsel), consumed by internal/paths for canonical path indexing and by
+// internal/ordering for sum-based ranking:
 //
 //   - binomial coefficients,
 //   - Dist — the number of bounded compositions (Eq. 3 of the paper): how

@@ -6,6 +6,11 @@
 // This is the layer the paper's experiments exercise: Table 4 measures
 // Estimate latency across ordering methods; Figure 2 measures mean error
 // rate of Estimate against the census ground truth.
+//
+// In the layer map (graph → bitset → paths → exec → pathsel), core sits
+// between paths and pathsel: it consumes the paths census and composes
+// internal/ordering with internal/histogram into the estimator that
+// pathsel (and exec's planner, via an Estimator adapter) consume.
 package core
 
 import (

@@ -1,6 +1,8 @@
 // Package dataset provides the data substrate of the reproduction: loaders
 // and writers for edge-list files, and deterministic synthetic generators
-// for the four evaluation datasets of Table 3.
+// for the four evaluation datasets of Table 3. In the layer map (graph →
+// bitset → paths → exec → pathsel) it sits beside internal/graph,
+// producing the graphs every layer above evaluates.
 //
 // The two real-world datasets of the paper (Moreno Health from Konect and a
 // DBpedia subgraph) are not redistributable/downloadable in this offline

@@ -1,0 +1,31 @@
+// Package exec evaluates path queries with explicit join plans — the
+// query-engine layer of the reproduction (graph → bitset → paths → exec →
+// pathsel): a graph database's optimizer uses cardinality estimates to
+// choose among execution plans, and estimate quality shows up as plan
+// quality.
+//
+// A length-k path query has k zig-zag plans, one per start position: begin
+// with the single-label relation at the start, extend rightward to the end
+// of the path, then prepend the remaining labels leftward. Start 0 is the
+// classic forward (left-to-right) join, start k−1 the backward
+// (right-to-left) join, and interior starts let the join begin at the most
+// selective label. All plans produce the same answer; their costs differ
+// by the sizes of the intermediate results, which are exactly the
+// selectivities of the plan's intermediate segments. A Planner costs every
+// plan from a selectivity estimator and picks the cheapest; ExecutePlan
+// carries the plan out and reports the actual intermediate sizes, so
+// planning quality is measurable end to end.
+//
+// Execution runs on the hybrid sparse/dense relation substrate
+// (bitset.HybridRelation): two pooled relations double-buffer through the
+// specialized sparse×CSR / dense×CSR compose kernels, rightward steps use
+// successor operands, leftward steps use predecessor operands on the
+// reversed relation, and every row adapts its representation per step. The
+// retired dense-only executor survives as ExecuteDense, the reference that
+// equivalence tests (equivalence_test.go) pin the hybrid engine against.
+//
+// Knobs: Options.DensityThreshold (fraction of |V| in (0,1]; ≤ 0 selects
+// the default 1/32, ≥ 1 keeps every row sparse) tunes the hybrid rows'
+// sparse→dense promotion point. It is purely a performance knob — results
+// are bit-identical at any setting.
+package exec

@@ -1,15 +1,3 @@
-// Package exec evaluates path queries with explicit join plans — the
-// query-engine substrate the paper's introduction motivates: a graph
-// database's optimizer uses cardinality estimates to choose among
-// execution plans, and estimate quality shows up as plan quality.
-//
-// A length-k path query can be joined left-to-right (forward) or
-// right-to-left (backward). Both produce the same answer; their costs
-// differ by the sizes of the intermediate results, which are exactly the
-// selectivities of the query's prefixes (forward) or suffixes (backward).
-// A Planner compares the two cost sums using a selectivity estimator and
-// picks a direction; Execute carries the plan out and reports the actual
-// intermediate sizes so planning quality is measurable.
 package exec
 
 import (
@@ -20,7 +8,9 @@ import (
 	"repro/internal/paths"
 )
 
-// Direction is a join order for a path query.
+// Direction is one of the two endpoint join orders for a path query. It
+// survives as convenience API over the general Plan: Forward is the plan
+// starting at position 0, Backward the plan starting at the last label.
 type Direction int
 
 // Join directions.
@@ -43,97 +33,129 @@ func (d Direction) String() string {
 	}
 }
 
+// Plan returns the equivalent zig-zag plan for a length-k query.
+func (d Direction) Plan(k int) Plan {
+	switch d {
+	case Forward:
+		return Plan{Start: 0}
+	case Backward:
+		return Plan{Start: k - 1}
+	default:
+		panic(fmt.Sprintf("exec: unknown direction %d", int(d)))
+	}
+}
+
+// Plan is a zig-zag join plan for a length-k path query: begin with the
+// single-label relation at position Start, extend right to the end of the
+// path, then prepend the remaining labels leftward. Start 0 is the
+// classic forward (left-to-right) plan, Start k−1 the backward plan;
+// interior starts let the join begin at the most selective label, which
+// neither endpoint plan can reach.
+type Plan struct {
+	// Start is the position of the label the join grows from, in [0, k).
+	Start int
+}
+
+// Describe renders the plan for a length-k query: "forward", "backward",
+// or "zigzag@i" for interior starts.
+func (pl Plan) Describe(k int) string {
+	switch {
+	case pl.Start == 0:
+		return "forward"
+	case pl.Start == k-1:
+		return "backward"
+	default:
+		return fmt.Sprintf("zigzag@%d", pl.Start)
+	}
+}
+
+// Options tunes plan execution.
+type Options struct {
+	// DensityThreshold is the hybrid rows' sparse→dense promotion
+	// threshold as a fraction of |V| (≤ 0 selects
+	// bitset.DefaultDensityThreshold of 1/32; ≥ 1 keeps every row
+	// sparse). Purely a performance knob — results are identical at any
+	// setting.
+	DensityThreshold float64
+}
+
 // Stats reports what an execution actually did.
 type Stats struct {
-	Direction Direction
-	// Intermediates holds the distinct-pair count after each join step
-	// (len(p)−1 entries; the final result is Result).
+	// Plan is the executed join plan.
+	Plan Plan
+	// Intermediates holds the distinct-pair count of the relation entering
+	// each join step (len(p)−1 entries; the final result is Result). These
+	// are exactly the selectivities of the plan's intermediate segments,
+	// so estimating them well is estimating the plan's cost well.
 	Intermediates []int64
 	// Work is the total intermediate volume Σ Intermediates — the cost a
 	// join-order optimizer tries to minimize.
 	Work int64
-	// Result is |ℓ(G)|, identical for both directions.
+	// Result is |ℓ(G)|, identical for every plan.
 	Result int64
 }
 
-// Execute evaluates p over g in the given direction and returns the result
-// relation plus execution statistics. It panics on an empty path.
-func Execute(g *graph.CSR, p paths.Path, dir Direction) (*bitset.Relation, Stats) {
+// Execute evaluates p over g with the endpoint plan of the given direction
+// and returns the result relation plus execution statistics. It panics on
+// an empty path. It is ExecutePlan with Direction sugar and default
+// options.
+func Execute(g *graph.CSR, p paths.Path, dir Direction) (*bitset.HybridRelation, Stats) {
 	if len(p) == 0 {
 		panic("exec: empty path query")
 	}
-	st := Stats{Direction: dir}
-	var rel *bitset.Relation
-	switch dir {
-	case Forward:
-		rel = g.EdgeRelation(p[0])
-		for _, l := range p[1:] {
-			st.Intermediates = append(st.Intermediates, rel.Pairs())
-			rel = rel.Compose(g.SuccessorSets(l))
-		}
-	case Backward:
-		// Build the suffix relation reversed (target → source) so each
-		// prepend step is a composition with predecessor sets; un-reverse
-		// at the end.
-		rev := g.EdgeRelation(p[len(p)-1]).Reverse()
-		for i := len(p) - 2; i >= 0; i-- {
-			st.Intermediates = append(st.Intermediates, rev.Pairs())
-			rev = rev.Compose(g.PredecessorSets(p[i]))
-		}
-		rel = rev.Reverse()
-	default:
-		panic(fmt.Sprintf("exec: unknown direction %d", int(dir)))
-	}
-	for _, n := range st.Intermediates {
-		st.Work += n
-	}
-	st.Result = rel.Pairs()
-	return rel, st
+	return ExecutePlan(g, p, dir.Plan(len(p)), Options{})
 }
 
-// Estimator supplies selectivity estimates to the planner. Both
-// *core.PathHistogram (wrapped) and exact censuses satisfy it via
-// EstimatorFunc.
-type Estimator interface {
-	Estimate(p paths.Path) float64
-}
-
-// EstimatorFunc adapts a function to the Estimator interface.
-type EstimatorFunc func(p paths.Path) float64
-
-// Estimate implements Estimator.
-func (f EstimatorFunc) Estimate(p paths.Path) float64 { return f(p) }
-
-// Planner chooses join directions from selectivity estimates.
-type Planner struct {
-	Est Estimator
-}
-
-// Cost returns the estimated intermediate volume of evaluating p in the
-// given direction: the sum of estimated prefix (or suffix) selectivities,
-// excluding the final result (which is direction-independent).
-func (pl Planner) Cost(p paths.Path, dir Direction) float64 {
-	var cost float64
-	switch dir {
-	case Forward:
-		for n := 1; n < len(p); n++ {
-			cost += pl.Est.Estimate(p[:n])
-		}
-	case Backward:
-		for n := 1; n < len(p); n++ {
-			cost += pl.Est.Estimate(p[len(p)-n:])
-		}
-	default:
-		panic(fmt.Sprintf("exec: unknown direction %d", int(dir)))
+// ExecutePlan evaluates p over g with the given zig-zag plan, entirely on
+// the hybrid sparse/dense substrate: two pooled relations are
+// double-buffered through the specialized sparse×CSR / dense×CSR compose
+// kernels, and each row adapts its representation per step (a prefix that
+// densifies mid-join promotes in place; one that thins back out demotes).
+// Rightward steps compose with successor operands; leftward steps reverse
+// once and compose with predecessor operands, so no step ever multiplies
+// from the expensive side. It panics on an empty path or an out-of-range
+// plan start.
+func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.HybridRelation, Stats) {
+	k := len(p)
+	if k == 0 {
+		panic("exec: empty path query")
 	}
-	return cost
-}
-
-// Choose returns the direction with the lower estimated cost (ties go
-// forward, the conventional default).
-func (pl Planner) Choose(p paths.Path) Direction {
-	if pl.Cost(p, Backward) < pl.Cost(p, Forward) {
-		return Backward
+	if plan.Start < 0 || plan.Start >= k {
+		panic(fmt.Sprintf("exec: plan start %d out of range [0,%d)", plan.Start, k))
 	}
-	return Forward
+	st := Stats{Plan: plan}
+	n := g.NumVertices()
+	cur := bitset.HybridFromCSR(g.LabelOperand(p[plan.Start]), opt.DensityThreshold)
+	if k == 1 {
+		st.Result = cur.Pairs()
+		return cur, st
+	}
+	buf := bitset.NewHybrid(n, opt.DensityThreshold)
+	scr := bitset.NewComposeScratch(n)
+	// Grow rightward: cur holds the segment p[Start:j).
+	for j := plan.Start + 1; j < k; j++ {
+		st.Intermediates = append(st.Intermediates, cur.Pairs())
+		cur.ComposeInto(buf, g.LabelOperand(p[j]), scr)
+		cur, buf = buf, cur
+	}
+	// Grow leftward on the reversed relation: prepending label l to a
+	// segment is composing the reversed segment with l's predecessor
+	// operand. Reversal is linear and does not change Pairs, so the
+	// recorded intermediates are still segment selectivities.
+	if plan.Start > 0 {
+		cur.ReverseInto(buf)
+		cur, buf = buf, cur
+		for i := plan.Start - 1; i >= 0; i-- {
+			st.Intermediates = append(st.Intermediates, cur.Pairs())
+			cur.ComposeInto(buf, g.PredecessorOperand(p[i]), scr)
+			cur, buf = buf, cur
+		}
+		cur.ReverseInto(buf)
+		cur, buf = buf, cur
+	}
+	for _, v := range st.Intermediates {
+		st.Work += v
+	}
+	st.Result = cur.Pairs()
+	return cur, st
 }

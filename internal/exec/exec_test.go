@@ -37,6 +37,32 @@ func TestExecuteDirectionsAgree(t *testing.T) {
 	}
 }
 
+func TestExecuteAllPlansAgree(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4)
+		p := make(paths.Path, n)
+		for i := range p {
+			p[i] = rng.Intn(3)
+		}
+		ref, rst := ExecutePlan(g, p, Plan{Start: 0}, Options{})
+		for s := 1; s < n; s++ {
+			rel, st := ExecutePlan(g, p, Plan{Start: s}, Options{})
+			if !rel.Equal(ref) {
+				t.Fatalf("path %v: plan start %d result differs from forward", p, s)
+			}
+			if st.Result != rst.Result {
+				t.Fatalf("path %v: plan start %d result count %d != %d", p, s, st.Result, rst.Result)
+			}
+			if len(st.Intermediates) != n-1 {
+				t.Fatalf("path %v: plan start %d has %d intermediates, want %d",
+					p, s, len(st.Intermediates), n-1)
+			}
+		}
+	}
+}
+
 func TestExecuteIntermediatesAreSelectivities(t *testing.T) {
 	g := testGraph(t)
 	p := paths.Path{0, 1, 2}
@@ -60,6 +86,14 @@ func TestExecuteIntermediatesAreSelectivities(t *testing.T) {
 	if fst.Work != fst.Intermediates[0]+fst.Intermediates[1] {
 		t.Fatal("work must sum intermediates")
 	}
+	// A zig-zag start at 1 materializes f(l2), then f(l2/l3), then prepends.
+	_, zst := ExecutePlan(g, p, Plan{Start: 1}, Options{})
+	if zst.Intermediates[0] != paths.Selectivity(g, p[1:2]) {
+		t.Fatal("first zig-zag intermediate should be f(l2)")
+	}
+	if zst.Intermediates[1] != paths.Selectivity(g, p[1:]) {
+		t.Fatal("second zig-zag intermediate should be f(l2/l3)")
+	}
 }
 
 func TestExecuteSingleLabel(t *testing.T) {
@@ -76,8 +110,14 @@ func TestExecuteSingleLabel(t *testing.T) {
 func TestExecutePanics(t *testing.T) {
 	g := testGraph(t)
 	for name, fn := range map[string]func(){
-		"empty path":    func() { Execute(g, paths.Path{}, Forward) },
-		"bad direction": func() { Execute(g, paths.Path{0}, Direction(7)) },
+		"empty path":        func() { Execute(g, paths.Path{}, Forward) },
+		"bad direction":     func() { Execute(g, paths.Path{0}, Direction(7)) },
+		"empty plan":        func() { ExecutePlan(g, paths.Path{}, Plan{}, Options{}) },
+		"plan start low":    func() { ExecutePlan(g, paths.Path{0, 1}, Plan{Start: -1}, Options{}) },
+		"plan start high":   func() { ExecutePlan(g, paths.Path{0, 1}, Plan{Start: 2}, Options{}) },
+		"cost empty":        func() { Planner{}.PlanCost(paths.Path{}, 0) },
+		"cost start range":  func() { Planner{}.PlanCost(paths.Path{0}, 1) },
+		"choose empty plan": func() { Planner{}.ChoosePlan(paths.Path{}) },
 	} {
 		func() {
 			defer func() {
@@ -99,16 +139,45 @@ func TestDirectionString(t *testing.T) {
 	}
 }
 
+func TestPlanDescribe(t *testing.T) {
+	if (Plan{Start: 0}).Describe(4) != "forward" ||
+		(Plan{Start: 3}).Describe(4) != "backward" ||
+		(Plan{Start: 2}).Describe(4) != "zigzag@2" {
+		t.Fatal("plan descriptions wrong")
+	}
+}
+
 func TestPlannerCostsFromExactEstimates(t *testing.T) {
 	g := testGraph(t)
-	c := paths.NewCensus(g, 3)
+	c := paths.NewCensus(g, 4)
 	pl := Planner{Est: EstimatorFunc(func(p paths.Path) float64 {
 		return float64(c.Selectivity(p))
 	})}
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 30; trial++ {
-		p := paths.Path{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
-		// With exact estimates, the planner's costs equal the actual works.
+		n := 2 + rng.Intn(3)
+		p := make(paths.Path, n)
+		for i := range p {
+			p[i] = rng.Intn(3)
+		}
+		// With exact estimates, every plan's cost equals its actual work.
+		for s := 0; s < n; s++ {
+			_, st := ExecutePlan(g, p, Plan{Start: s}, Options{})
+			if got := pl.PlanCost(p, s); got != float64(st.Work) {
+				t.Fatalf("path %v start %d: cost %v != actual work %d", p, s, got, st.Work)
+			}
+		}
+		// Therefore the chosen plan is globally cheapest.
+		chosen := pl.ChoosePlan(p)
+		_, cst := ExecutePlan(g, p, chosen, Options{})
+		for s := 0; s < n; s++ {
+			_, st := ExecutePlan(g, p, Plan{Start: s}, Options{})
+			if cst.Work > st.Work {
+				t.Fatalf("path %v: chose start %d (work %d) over cheaper start %d (work %d)",
+					p, chosen.Start, cst.Work, s, st.Work)
+			}
+		}
+		// And the legacy 2-plan API agrees with the endpoint costs.
 		_, fst := Execute(g, p, Forward)
 		_, bst := Execute(g, p, Backward)
 		if got := pl.Cost(p, Forward); got != float64(fst.Work) {
@@ -117,16 +186,23 @@ func TestPlannerCostsFromExactEstimates(t *testing.T) {
 		if got := pl.Cost(p, Backward); got != float64(bst.Work) {
 			t.Fatalf("backward cost %v != actual work %d", got, bst.Work)
 		}
-		// Therefore the chosen direction is the cheaper one.
-		chosen := pl.Choose(p)
-		_, cst := Execute(g, p, chosen)
-		other := Forward
-		if chosen == Forward {
-			other = Backward
-		}
-		_, ost := Execute(g, p, other)
-		if cst.Work > ost.Work {
-			t.Fatalf("exact-estimate planner chose the costlier direction for %v", p)
+	}
+}
+
+func TestPlannerCostsSlice(t *testing.T) {
+	g := testGraph(t)
+	c := paths.NewCensus(g, 3)
+	pl := Planner{Est: EstimatorFunc(func(p paths.Path) float64 {
+		return float64(c.Selectivity(p))
+	})}
+	p := paths.Path{0, 1, 2}
+	costs := pl.Costs(p)
+	if len(costs) != 3 {
+		t.Fatalf("Costs length %d", len(costs))
+	}
+	for s, want := range costs {
+		if got := pl.PlanCost(p, s); got != want {
+			t.Fatalf("Costs[%d] = %v, PlanCost = %v", s, want, got)
 		}
 	}
 }
@@ -135,5 +211,8 @@ func TestPlannerTieGoesForward(t *testing.T) {
 	pl := Planner{Est: EstimatorFunc(func(paths.Path) float64 { return 1 })}
 	if pl.Choose(paths.Path{0, 1}) != Forward {
 		t.Fatal("ties should go forward")
+	}
+	if pl.ChoosePlan(paths.Path{0, 1, 2}).Start != 0 {
+		t.Fatal("plan ties should go forward")
 	}
 }

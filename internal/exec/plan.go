@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/paths"
+)
+
+// Estimator supplies selectivity estimates to the planner. Both
+// *core.PathHistogram (wrapped) and exact censuses satisfy it via
+// EstimatorFunc.
+type Estimator interface {
+	Estimate(p paths.Path) float64
+}
+
+// EstimatorFunc adapts a function to the Estimator interface.
+type EstimatorFunc func(p paths.Path) float64
+
+// Estimate implements Estimator.
+func (f EstimatorFunc) Estimate(p paths.Path) float64 { return f(p) }
+
+// Planner chooses join plans from selectivity estimates. A length-k query
+// has k zig-zag plans (one per start position); the planner costs each as
+// the sum of its estimated intermediate-segment selectivities and picks
+// the cheapest, so the spread between the k costs is exactly where
+// estimator quality turns into plan quality.
+type Planner struct {
+	Est Estimator
+}
+
+// PlanCost returns the estimated intermediate volume of executing p with
+// the plan starting at position start: the sum of estimated selectivities
+// of every segment the execution materializes and feeds into a join step,
+// excluding the final result (which is plan-independent). With an exact
+// estimator it equals ExecutePlan's Stats.Work. It panics on an empty
+// path or out-of-range start.
+func (pl Planner) PlanCost(p paths.Path, start int) float64 {
+	k := len(p)
+	if k == 0 {
+		panic("exec: cost of empty path query")
+	}
+	if start < 0 || start >= k {
+		panic(fmt.Sprintf("exec: plan start %d out of range [0,%d)", start, k))
+	}
+	var cost float64
+	// Rightward intermediates p[start:j). The full segment p[start:k) is
+	// fed into the first prepend step — unless start is 0, in which case
+	// it is the final result and costs nothing.
+	hi := k
+	if start == 0 {
+		hi = k - 1
+	}
+	for j := start + 1; j <= hi; j++ {
+		cost += pl.Est.Estimate(p[start:j])
+	}
+	// Leftward intermediates p[i:k); p[0:k) is the final result.
+	for i := start - 1; i >= 1; i-- {
+		cost += pl.Est.Estimate(p[i:])
+	}
+	return cost
+}
+
+// Cost returns the estimated intermediate volume of the endpoint plan of
+// the given direction — the legacy 2-plan API, now a view over PlanCost.
+func (pl Planner) Cost(p paths.Path, dir Direction) float64 {
+	return pl.PlanCost(p, dir.Plan(len(p)).Start)
+}
+
+// Costs returns the estimated cost of all len(p) zig-zag plans, indexed
+// by start position.
+func (pl Planner) Costs(p paths.Path) []float64 {
+	out := make([]float64, len(p))
+	for s := range p {
+		out[s] = pl.PlanCost(p, s)
+	}
+	return out
+}
+
+// ChoosePlan returns the cheapest of the k zig-zag plans. Ties prefer the
+// forward plan, then the backward plan, then the lowest interior start:
+// endpoint plans skip the two linear reversal passes, so they win when
+// the estimated volumes are equal.
+func (pl Planner) ChoosePlan(p paths.Path) Plan {
+	return CheapestPlan(pl.Costs(p))
+}
+
+// CheapestPlan picks the winning plan from a per-start cost slice (as
+// returned by Costs) using ChoosePlan's tie-break order: forward, then
+// backward, then the lowest interior start. It panics on an empty slice.
+func CheapestPlan(costs []float64) Plan {
+	k := len(costs)
+	if k == 0 {
+		panic("exec: plan for empty path query")
+	}
+	best := 0
+	if k > 1 && costs[k-1] < costs[best] {
+		best = k - 1
+	}
+	for s := 1; s < k-1; s++ {
+		if costs[s] < costs[best] {
+			best = s
+		}
+	}
+	return Plan{Start: best}
+}
+
+// Choose returns the direction with the lower estimated cost among the
+// two endpoint plans (ties go forward, the conventional default) — the
+// legacy 2-plan API.
+func (pl Planner) Choose(p paths.Path) Direction {
+	if pl.Cost(p, Backward) < pl.Cost(p, Forward) {
+		return Backward
+	}
+	return Forward
+}

@@ -8,6 +8,11 @@
 // dataset scale so the full suite finishes in seconds (same code paths,
 // smaller graphs — DESIGN.md §4), while PaperOptions matches the published
 // parameters.
+//
+// In the layer map (graph → bitset → paths → exec → pathsel) this is the
+// evaluation harness over the top: it drives every layer end to end
+// (censuses, histograms, planners, executors) and emits the committed
+// BENCH_*.json perf artifacts via RunPerfBench/RunExecBench.
 package experiments
 
 import (

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/paths"
 )
@@ -51,6 +52,105 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ExecBenchQueries are the SNAP-FF label paths the exec bench executes:
+// length-3 and length-4 queries mixing frequent (Zipf-head) and rare
+// labels, so both sparse and dense row regimes appear mid-join.
+var ExecBenchQueries = []paths.Path{
+	{0, 1, 2},
+	{1, 0, 0},
+	{2, 1, 0, 3},
+	{0, 0, 1, 2},
+}
+
+// benchSnapFF builds the shared SNAP-FF graph of the exec and
+// compose-kernel sections at twice the census scale, clamped to the
+// generator's (0, 1] domain.
+func benchSnapFF(scale float64) *graph.CSR {
+	s := 2 * scale
+	if s > 1 {
+		s = 1
+	}
+	return dataset.Generate(dataset.Table3()[3], s, 1).Freeze()
+}
+
+// execBenchResults measures query execution on SNAP-FF: the legacy dense
+// executor against the hybrid engine for the forward and backward
+// endpoint plans, plus the hybrid-only interior zig-zag start and the
+// union (disjunction) evaluator. Each measurement runs every
+// ExecBenchQueries path once per iteration.
+func execBenchResults(g *graph.CSR, iters int) []PerfResult {
+	execIters := iters * 5
+	var out []PerfResult
+
+	run := func(name string, ns, baseline int64) {
+		// K is omitted: the workload mixes path lengths 3 and 4.
+		r := PerfResult{Name: name, Dataset: "SNAP-FF", Iters: execIters, NsPerOp: ns}
+		if baseline > 0 {
+			r.Speedup = float64(baseline) / float64(ns)
+		}
+		out = append(out, r)
+	}
+
+	legacyFwd := timeOp(execIters, func() {
+		for _, q := range ExecBenchQueries {
+			exec.ExecuteDense(g, q, exec.Forward)
+		}
+	})
+	run("exec/legacy-dense-forward", legacyFwd, 0)
+	hybridFwd := timeOp(execIters, func() {
+		for _, q := range ExecBenchQueries {
+			exec.ExecutePlan(g, q, exec.Plan{Start: 0}, exec.Options{})
+		}
+	})
+	run("exec/hybrid-forward", hybridFwd, legacyFwd)
+
+	legacyBwd := timeOp(execIters, func() {
+		for _, q := range ExecBenchQueries {
+			exec.ExecuteDense(g, q, exec.Backward)
+		}
+	})
+	run("exec/legacy-dense-backward", legacyBwd, 0)
+	hybridBwd := timeOp(execIters, func() {
+		for _, q := range ExecBenchQueries {
+			exec.ExecutePlan(g, q, exec.Plan{Start: len(q) - 1}, exec.Options{})
+		}
+	})
+	run("exec/hybrid-backward", hybridBwd, legacyBwd)
+
+	// Interior zig-zag start: no legacy counterpart; baseline against the
+	// hybrid forward plan so the reversal overhead is visible.
+	zigzag := timeOp(execIters, func() {
+		for _, q := range ExecBenchQueries {
+			exec.ExecutePlan(g, q, exec.Plan{Start: 1}, exec.Options{})
+		}
+	})
+	run("exec/hybrid-zigzag@1", zigzag, hybridFwd)
+
+	// Union (pattern disjunction) over all bench queries.
+	union := timeOp(execIters, func() {
+		paths.UnionSelectivity(g, ExecBenchQueries)
+	})
+	run("exec/union-selectivity", union, 0)
+	return out
+}
+
+// RunExecBench measures only the query-execution section — the
+// BENCH_exec.json artifact. scale/iters default to 0.05/3 when ≤ 0.
+func RunExecBench(scale float64, iters int) *PerfReport {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	return &PerfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Results:    execBenchResults(benchSnapFF(scale), iters),
+	}
 }
 
 // timeOp runs fn iters times and returns the mean ns/op.
@@ -129,8 +229,13 @@ func RunPerfBench(scale float64, iters int) *PerfReport {
 		rep.Results = append(rep.Results, res)
 	}
 
+	// Query execution on SNAP-FF: the forward-join benchmark the exec
+	// port is judged by, plus the other plan shapes. See RunExecBench.
+	// The same frozen graph also serves the compose-kernel section below.
+	g := benchSnapFF(scale)
+	rep.Results = append(rep.Results, execBenchResults(g, iters)...)
+
 	// Compose kernels in isolation on SNAP-FF label 0.
-	g := dataset.Generate(dataset.Table3()[3], 2*scale, 1).Freeze()
 	op := g.LabelOperand(0)
 	kernIters := iters * 20
 	legacyRel := g.EdgeRelation(0)

@@ -35,12 +35,12 @@ func TestPlanQuality(t *testing.T) {
 }
 
 func TestPlanQualityEstimatesHelp(t *testing.T) {
-	// Histogram-driven planning must beat random planning: the expected
-	// work ratio of coin-flip direction choice is the midpoint of forward
-	// and backward work over optimal, typically well above any method's
-	// measured ratio. We assert the weaker, robust property that every
-	// ordering method agrees with the oracle on more than half of the
-	// queries at a reasonable budget.
+	// Histogram-driven planning must beat random planning. A length-3
+	// query has 3 zig-zag plans, so picking one uniformly at random finds
+	// the optimum on ≥ 1/3 of queries (ties only help); every ordering
+	// method must clear that bar, and the better half of the field must be
+	// decisively above it — the spread between methods is the point of the
+	// k-plan space.
 	opt := Options{
 		Scale: 0.08, Seed: 1, TimingK: 3,
 		AccuracyKs: []int{3}, BetaDenoms: []int{16},
@@ -50,10 +50,17 @@ func TestPlanQualityEstimatesHelp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	best := 0.0
 	for _, c := range cells {
-		if c.Agreement <= 0.5 {
-			t.Errorf("%s: oracle agreement %.3f not better than coin flip", c.Method, c.Agreement)
+		if c.Agreement <= 1.0/3 {
+			t.Errorf("%s: oracle agreement %.3f not better than random plan choice", c.Method, c.Agreement)
 		}
+		if c.Agreement > best {
+			best = c.Agreement
+		}
+	}
+	if best <= 0.6 {
+		t.Errorf("no ordering method clears 0.6 oracle agreement (best %.3f)", best)
 	}
 	// And sum-based should not be clearly worse than the field, given its
 	// Figure 2 accuracy edge.

@@ -1,8 +1,23 @@
-// Package graph implements the directed edge-labeled multigraph substrate
-// of the reproduction: G = (V, L, E) with E ⊆ V × L × V. It provides a
-// mutable builder, an immutable CSR (compressed sparse row) form with
-// per-label adjacency, and per-label successor bit sets for the exact
-// path-selectivity engine.
+// Package graph is the bottom layer of the reproduction (graph → bitset →
+// paths → exec → pathsel): the directed edge-labeled multigraph
+// G = (V, L, E) with E ⊆ V × L × V. It provides a mutable builder and an
+// immutable, concurrency-safe CSR (compressed sparse row) form that
+// serves every engine above it with per-label adjacency in the shapes
+// their kernels consume:
+//
+//   - LabelOperand / LabelCSR: forward adjacency as a dual-form compose
+//     operand (CSR arrays for the sparse scatter kernel, dense successor
+//     sets for the word-parallel kernel) — the census and the rightward
+//     join steps of execution.
+//   - PredecessorOperand / PredecessorCSR: reversed adjacency in the same
+//     dual form — the leftward (prepend) join steps of backward and
+//     zig-zag execution.
+//   - SuccessorSets / PredecessorSets / EdgeRelation: dense-only forms,
+//     retained for the legacy reference implementations the equivalence
+//     tests pin the hybrid engines against.
+//
+// All lazily built tables are sync.Once-guarded, so first use is safe
+// under concurrent callers and the hot loops never pay initialization.
 package graph
 
 import (
@@ -154,10 +169,13 @@ func (g *Graph) Freeze() *CSR {
 		numEdges:    len(edges),
 		offsets:     make([][]int32, g.numLabels),
 		targets:     make([][]int32, g.numLabels),
+		roffsets:    make([][]int32, g.numLabels),
+		rtargets:    make([][]int32, g.numLabels),
 		succ:        make([][]*bitset.Set, g.numLabels),
 		pred:        make([][]*bitset.Set, g.numLabels),
 		succOnce:    make([]sync.Once, g.numLabels),
 		predOnce:    make([]sync.Once, g.numLabels),
+		revOnce:     make([]sync.Once, g.numLabels),
 	}
 	for l := 0; l < g.numLabels; l++ {
 		c.offsets[l] = make([]int32, g.numVertices+1)
@@ -197,13 +215,20 @@ type CSR struct {
 	offsets [][]int32
 	targets [][]int32
 
+	// roffsets/rtargets are the reverse CSR per label — incoming edges,
+	// indexed by target — built lazily by PredecessorCSR for backward and
+	// zig-zag join steps.
+	roffsets [][]int32
+	rtargets [][]int32
+
 	// succ[l] is built lazily by SuccessorSets; pred[l] by
-	// PredecessorSets. The sync.Once guards make the first build per label
-	// safe under concurrent callers.
+	// PredecessorSets; roffsets/rtargets by PredecessorCSR. The sync.Once
+	// guards make the first build per label safe under concurrent callers.
 	succ     [][]*bitset.Set
 	pred     [][]*bitset.Set
 	succOnce []sync.Once
 	predOnce []sync.Once
+	revOnce  []sync.Once
 }
 
 // NumVertices returns |V|.
@@ -238,10 +263,12 @@ func (c *CSR) LabelFrequencies() []int64 {
 	return freq
 }
 
-// SuccessorSets returns, for label l, a per-vertex successor bit set table
-// suitable for bitset.Relation.Compose. Rows for vertices with no
-// successors are nil. The table is built once per label and cached behind a
-// sync.Once, so concurrent first calls are safe.
+// SuccessorSets returns, for label l, a per-vertex successor bit set
+// table: the dense half of LabelOperand (driving the dense×CSR compose
+// kernel) and the input of the legacy bitset.Relation.Compose reference
+// path. Rows for vertices with no successors are nil. The table is built
+// once per label and cached behind a sync.Once, so concurrent first calls
+// are safe.
 func (c *CSR) SuccessorSets(l int) []*bitset.Set {
 	c.succOnce[l].Do(func() {
 		tab := make([]*bitset.Set, c.numVertices)
@@ -279,6 +306,50 @@ func (c *CSR) PredecessorSets(l int) []*bitset.Set {
 		c.pred[l] = tab
 	})
 	return c.pred[l]
+}
+
+// PredecessorCSR returns label l's reversed adjacency as a CSR-only
+// compose operand: operand row v holds every u with (u, l, v) ∈ E, sorted
+// ascending. Composing a reversed relation with it is the prepend step of
+// backward and zig-zag execution. Built once per label (counting sort of
+// the forward CSR) behind a sync.Once, so concurrent first calls are safe.
+func (c *CSR) PredecessorCSR(l int) bitset.CSROperand {
+	c.revOnce[l].Do(func() {
+		off := make([]int32, c.numVertices+1)
+		for _, t := range c.targets[l] {
+			off[t+1]++
+		}
+		for v := 0; v < c.numVertices; v++ {
+			off[v+1] += off[v]
+		}
+		rt := make([]int32, len(c.targets[l]))
+		fill := make([]int32, c.numVertices)
+		// Scanning sources ascending emits each target's predecessors in
+		// ascending order, preserving the sorted-row invariant.
+		for v := 0; v < c.numVertices; v++ {
+			for _, t := range c.Successors(v, l) {
+				rt[off[t]+fill[t]] = int32(v)
+				fill[t]++
+			}
+		}
+		c.roffsets[l] = off
+		c.rtargets[l] = rt
+	})
+	return bitset.CSROperand{
+		N:       c.numVertices,
+		Offsets: c.roffsets[l],
+		Targets: c.rtargets[l],
+	}
+}
+
+// PredecessorOperand returns label l's reversed adjacency as a dual-form
+// compose operand: the reverse CSR arrays for the sparse scatter kernel
+// plus the dense predecessor sets for the word-parallel kernel. Safe for
+// concurrent callers.
+func (c *CSR) PredecessorOperand(l int) bitset.CSROperand {
+	op := c.PredecessorCSR(l)
+	op.Dense = c.PredecessorSets(l)
+	return op
 }
 
 // LabelOperand returns label l's adjacency as a dual-form compose operand:
@@ -319,8 +390,11 @@ func (c *CSR) Operands(withDense bool) []bitset.CSROperand {
 	return ops
 }
 
-// EdgeRelation returns label l's edge set as a bitset.Relation (the set of
-// pairs (s, t) with (s, l, t) ∈ E). This is the length-1 path relation.
+// EdgeRelation returns label l's edge set as a dense bitset.Relation (the
+// set of pairs (s, t) with (s, l, t) ∈ E) — the length-1 path relation in
+// the legacy representation. Only the sequential reference census and the
+// retired dense executors use it; hybrid engines start from
+// bitset.HybridFromCSR(LabelOperand(l), …) instead.
 func (c *CSR) EdgeRelation(l int) *bitset.Relation {
 	r := bitset.NewRelation(c.numVertices)
 	for v := 0; v < c.numVertices; v++ {

@@ -311,3 +311,91 @@ func TestLabelOperandMatchesCSR(t *testing.T) {
 		}
 	}
 }
+
+func TestPredecessorCSRMirrorsForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(60)
+		labels := 1 + rng.Intn(3)
+		g := New(n, labels)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(labels), rng.Intn(n))
+		}
+		c := g.Freeze()
+		for l := 0; l < labels; l++ {
+			op := c.PredecessorCSR(l)
+			if op.N != n {
+				t.Fatalf("operand universe %d != %d", op.N, n)
+			}
+			// Every reverse pair (v, u) must be a forward edge (u, l, v),
+			// rows must be sorted, and the pair counts must match.
+			total := 0
+			for v := 0; v < n; v++ {
+				row := op.Targets[op.Offsets[v]:op.Offsets[v+1]]
+				for i, u := range row {
+					if i > 0 && row[i-1] >= u {
+						t.Fatalf("label %d: predecessor row %d not strictly ascending", l, v)
+					}
+					if !g.HasEdge(int(u), l, v) {
+						t.Fatalf("label %d: reverse pair (%d,%d) has no forward edge", l, v, u)
+					}
+				}
+				total += len(row)
+			}
+			if total != len(c.targets[l]) {
+				t.Fatalf("label %d: reverse CSR has %d pairs, forward has %d", l, total, len(c.targets[l]))
+			}
+		}
+	}
+}
+
+func TestPredecessorOperandDenseAgrees(t *testing.T) {
+	g := New(6, 2)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 1, 3)
+	g.AddEdge(5, 1, 0)
+	c := g.Freeze()
+	op := c.PredecessorOperand(1)
+	if op.Dense == nil {
+		t.Fatal("dual-form operand should carry dense predecessor sets")
+	}
+	for v := 0; v < 6; v++ {
+		row := op.Targets[op.Offsets[v]:op.Offsets[v+1]]
+		want := op.Dense[v]
+		if want == nil {
+			if len(row) != 0 {
+				t.Fatalf("vertex %d: CSR row non-empty but dense row nil", v)
+			}
+			continue
+		}
+		if want.Count() != len(row) {
+			t.Fatalf("vertex %d: dense count %d != CSR row length %d", v, want.Count(), len(row))
+		}
+		for _, u := range row {
+			if !want.Contains(int(u)) {
+				t.Fatalf("vertex %d: dense set missing predecessor %d", v, u)
+			}
+		}
+	}
+}
+
+func TestPredecessorCSRConcurrent(t *testing.T) {
+	g := New(40, 2)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(2), rng.Intn(40))
+	}
+	c := g.Freeze()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := 0; l < 2; l++ {
+				c.PredecessorCSR(l)
+				c.PredecessorOperand(l)
+			}
+		}()
+	}
+	wg.Wait()
+}

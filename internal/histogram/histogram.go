@@ -8,6 +8,11 @@
 // is the frequency vector f(ℓ) laid out in that order, and a point query
 // for domain position i is answered with the average frequency of the
 // bucket containing i (the uniform-within-bucket assumption).
+//
+// In the layer map (graph → bitset → paths → exec → pathsel) this package
+// sits beside internal/ordering under internal/core: ordering lays the
+// census out on the integer domain, histogram compresses that layout into
+// the β-bucket synopsis estimates are answered from.
 package histogram
 
 import (

@@ -9,6 +9,11 @@
 // ranking); all are provided here, together with the impractical "ideal"
 // ordering as an accuracy upper bound and a base-set extension (§5 future
 // work).
+//
+// In the layer map (graph → bitset → paths → exec → pathsel) this package
+// sits beside internal/histogram under internal/core: it permutes the
+// census's canonical frequency vector into the domain layout the
+// histogram buckets are built over.
 package ordering
 
 import (

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/graph"
 )
@@ -113,5 +114,88 @@ func FuzzCensusEquivalence(f *testing.F) {
 		want := NewCensus(g, k)
 		got := NewCensusHybrid(g, k, CensusOptions{Workers: workers, SplitPairs: split})
 		assertCensusEqual(t, "fuzz", want, got)
+	})
+}
+
+// TestEvaluateHybridMatchesDense pins the hybrid Evaluate bit-identical to
+// the retired dense evaluator across random graphs, path lengths, and
+// density thresholds.
+func TestEvaluateHybridMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		vertices := 2 + rng.Intn(120)
+		labels := 1 + rng.Intn(5)
+		edges := 1 + rng.Intn(6*vertices)
+		g := randomGraph(int64(200+trial), vertices, labels, edges)
+		p := make(Path, 1+rng.Intn(4))
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		want := EvaluateDense(g, p)
+		for _, density := range []float64{0, 1e-9, 0.25, 1.0} {
+			got := EvaluateWithDensity(g, p, density)
+			if !got.EqualRelation(want) {
+				t.Fatalf("trial %d density %v: hybrid Evaluate(%v) differs from dense", trial, density, p)
+			}
+		}
+		if Selectivity(g, p) != want.Pairs() {
+			t.Fatalf("trial %d: Selectivity(%v) != dense pair count", trial, p)
+		}
+	}
+}
+
+// TestUnionSelectivityMatchesDense pins the hybrid union accumulation
+// against the dense reference: evaluate each path densely, pour all pairs
+// into one dense relation, and compare counts.
+func TestUnionSelectivityMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		vertices := 2 + rng.Intn(80)
+		labels := 1 + rng.Intn(4)
+		g := randomGraph(int64(300+trial), vertices, labels, 1+rng.Intn(5*vertices))
+		ps := make([]Path, 1+rng.Intn(5))
+		for i := range ps {
+			p := make(Path, 1+rng.Intn(3))
+			for j := range p {
+				p[j] = rng.Intn(labels)
+			}
+			ps[i] = p
+		}
+		acc := bitset.NewRelation(g.NumVertices())
+		for _, p := range ps {
+			EvaluateDense(g, p).ForEachRow(func(s int, targets *bitset.Set) bool {
+				targets.ForEach(func(tt int) bool {
+					acc.Add(s, tt)
+					return true
+				})
+				return true
+			})
+		}
+		if got, want := UnionSelectivity(g, ps), acc.Pairs(); got != want {
+			t.Fatalf("trial %d: UnionSelectivity = %d, dense reference %d (paths %v)", trial, got, want, ps)
+		}
+	}
+}
+
+// FuzzEvaluateEquivalence fuzzes graph shape, path, and density threshold,
+// asserting hybrid Evaluate ≡ dense on every input.
+func FuzzEvaluateEquivalence(f *testing.F) {
+	f.Add(int64(1), 20, 2, 60, uint16(0x3121), float64(0))
+	f.Add(int64(2), 50, 3, 200, uint16(0x0002), float64(1))
+	f.Add(int64(3), 5, 1, 10, uint16(0x1000), float64(1e-9))
+	f.Fuzz(func(t *testing.T, seed int64, vertices, labels, edges int, pathBits uint16, density float64) {
+		if vertices < 1 || vertices > 80 || labels < 1 || labels > 4 ||
+			edges < 0 || edges > 400 || density < 0 || density > 1 {
+			t.Skip()
+		}
+		g := randomGraph(seed, vertices, labels, edges)
+		k := 1 + int(pathBits>>12)%4
+		p := make(Path, k)
+		for i := range p {
+			p[i] = int(pathBits>>(4*i)) % labels
+		}
+		if !EvaluateWithDensity(g, p, density).EqualRelation(EvaluateDense(g, p)) {
+			t.Fatalf("hybrid Evaluate(%v) differs from dense (density %v)", p, density)
+		}
 	})
 }

@@ -1,18 +1,37 @@
-// Package paths implements label paths and the exact path-selectivity
-// engine of the reproduction.
+// Package paths is the path-evaluation layer of the reproduction (graph →
+// bitset → paths → exec → pathsel): label paths, single-path evaluation,
+// and the exact path-selectivity census.
 //
 // A k-label path ℓ = l1/l2/…/lk is a sequence of edge labels. Its
 // evaluation ℓ(G) is the set of distinct vertex pairs (vs, vt) connected by
-// a path spelling ℓ; the selectivity f(ℓ) = |ℓ(G)|. The engine computes
+// a path spelling ℓ; the selectivity f(ℓ) = |ℓ(G)|. The census computes
 // f(ℓ) for every ℓ ∈ Lk (all label paths of length 1…k) by a DFS over the
 // label trie, extending each prefix's pair relation by one label via
-// bit-parallel relational composition.
+// relational composition.
 //
 // Two census engines compute identical results: NewCensus, the simple
 // allocating reference implementation on dense bitset.Relation rows, and
 // NewCensusHybrid (reached via NewCensusParallel), the production engine
 // on pooled hybrid sparse/dense relations with work-stealing trie
-// parallelism. Property tests in equivalence_test.go pin them bit-identical.
+// parallelism. Single-path evaluation mirrors the split: Evaluate,
+// Selectivity, and UnionSelectivity run on the hybrid substrate, while
+// EvaluateDense survives as the dense reference. Property and fuzz tests
+// in equivalence_test.go pin every hybrid entry point bit-identical to
+// its reference.
+//
+// Knobs (CensusOptions):
+//
+//   - Workers: census goroutine count; ≤ 0 means GOMAXPROCS. Workers are
+//     not capped at |L| — subtrees split at any trie depth.
+//   - DensityThreshold: the hybrid rows' sparse→dense promotion point as
+//     a fraction of |V| in (0, 1]; ≤ 0 selects
+//     bitset.DefaultDensityThreshold (1/32), ≥ 1 keeps every row sparse.
+//   - SplitPairs: minimum prefix selectivity, in vertex pairs, for a
+//     census subtree to be offered to the work-stealing deques; ≤ 0
+//     selects DefaultSplitPairs (128). Smaller subtrees expand inline on
+//     pooled relations.
+//
+// All three change performance only, never results.
 package paths
 
 import (
@@ -133,9 +152,41 @@ func FromCanonicalIndex(idx int64, numLabels, k int) Path {
 	return p
 }
 
-// Evaluate returns ℓ(G) as a relation of distinct vertex pairs. It panics
-// on an empty path.
-func Evaluate(g *graph.CSR, p Path) *bitset.Relation {
+// Evaluate returns ℓ(G) as a hybrid relation of distinct vertex pairs,
+// computed left-to-right on the hybrid sparse/dense substrate: two pooled
+// relations double-buffer through the specialized compose kernels, and
+// each row adapts its representation per step. It panics on an empty
+// path. Equivalent to EvaluateWithDensity with the default threshold.
+func Evaluate(g *graph.CSR, p Path) *bitset.HybridRelation {
+	return EvaluateWithDensity(g, p, 0)
+}
+
+// EvaluateWithDensity is Evaluate with an explicit sparse→dense promotion
+// threshold (fraction of |V|; ≤ 0 selects bitset.DefaultDensityThreshold,
+// ≥ 1 keeps every row sparse). Purely a performance knob — results are
+// identical at any setting.
+func EvaluateWithDensity(g *graph.CSR, p Path, density float64) *bitset.HybridRelation {
+	if len(p) == 0 {
+		panic("paths: evaluate empty path")
+	}
+	cur := bitset.HybridFromCSR(g.LabelOperand(p[0]), density)
+	if len(p) == 1 {
+		return cur
+	}
+	buf := bitset.NewHybrid(g.NumVertices(), density)
+	scr := bitset.NewComposeScratch(g.NumVertices())
+	for _, l := range p[1:] {
+		cur.ComposeInto(buf, g.LabelOperand(l), scr)
+		cur, buf = buf, cur
+	}
+	return cur
+}
+
+// EvaluateDense is the retired dense-only evaluator, kept solely as the
+// reference implementation that equivalence tests pin Evaluate against.
+// It allocates a fresh dense bitset.Relation per join step; production
+// callers use Evaluate.
+func EvaluateDense(g *graph.CSR, p Path) *bitset.Relation {
 	if len(p) == 0 {
 		panic("paths: evaluate empty path")
 	}
@@ -153,21 +204,16 @@ func Selectivity(g *graph.CSR, p Path) int64 {
 
 // UnionSelectivity returns the number of distinct vertex pairs connected
 // by at least one of the given paths — the exact answer of a pattern
-// (disjunction) query under set semantics. It panics when ps is empty.
+// (disjunction) query under set semantics. Each path evaluates on the
+// hybrid substrate and accumulates into the first result by row-wise
+// union (bitset.HybridRelation.UnionWith). It panics when ps is empty.
 func UnionSelectivity(g *graph.CSR, ps []Path) int64 {
 	if len(ps) == 0 {
 		panic("paths: union of no paths")
 	}
 	acc := Evaluate(g, ps[0])
 	for _, p := range ps[1:] {
-		rel := Evaluate(g, p)
-		rel.ForEachRow(func(s int, targets *bitset.Set) bool {
-			targets.ForEach(func(t int) bool {
-				acc.Add(s, t)
-				return true
-			})
-			return true
-		})
+		acc.UnionWith(Evaluate(g, p))
 	}
 	return acc.Pairs()
 }

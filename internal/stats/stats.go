@@ -1,6 +1,8 @@
 // Package stats implements the evaluation metrics of the reproduction:
 // the paper's relative error metric (Eq. 6), aggregate error rates,
-// q-error, and basic summary statistics.
+// q-error, and basic summary statistics. A leaf utility of the layer map
+// (graph → bitset → paths → exec → pathsel), consumed by internal/core's
+// evaluator and internal/experiments.
 package stats
 
 import (

@@ -1,8 +1,12 @@
-// Package pathsel is the public API of the path-selectivity-estimation
-// library: histogram-based selectivity estimation for label-path queries
-// on directed edge-labeled graphs, with the histogram domain arranged by a
-// configurable ordering method (the contribution of Yakovets et al.,
-// "Histogram Domain Ordering for Path Selectivity Estimation", EDBT 2018).
+// Package pathsel is the public API and top layer of the reproduction
+// (graph → bitset → paths → exec → pathsel): histogram-based selectivity
+// estimation for label-path queries on directed edge-labeled graphs, with
+// the histogram domain arranged by a configurable ordering method (the
+// contribution of Yakovets et al., "Histogram Domain Ordering for Path
+// Selectivity Estimation", EDBT 2018). Beyond estimation it exposes the
+// end-to-end loop the paper motivates: PlanQuery chooses among a query's
+// zig-zag join plans from histogram estimates, and ExecuteQuery carries
+// the chosen plan out on the hybrid execution engine.
 //
 // Typical use:
 //
@@ -30,8 +34,16 @@
 // word-parallel). Relations are pooled per worker so the steady-state DFS
 // allocates nothing, and subtrees are distributed by a work-stealing
 // scheduler that splits at any trie depth, so skewed label distributions
-// scale past |L| workers. Config.Workers and Config.DensityThreshold
-// expose the knobs; every setting produces bit-identical results.
+// scale past |L| workers.
+//
+// Knobs (Config): Workers is the census goroutine count (≤ 0 means
+// GOMAXPROCS; workers are not capped at the label count).
+// DensityThreshold is the sparse→dense promotion point as a fraction of
+// |V| in (0, 1] (≤ 0 selects the 1/32 default; ≥ 1 keeps every row
+// sparse); it governs both the census and ExecuteQuery's join relations.
+// The census subtree split granularity (paths.CensusOptions.SplitPairs,
+// default 128 pairs) is fixed at its default here. Every setting produces
+// bit-identical results — these are performance knobs only.
 package pathsel
 
 import (

@@ -1,0 +1,105 @@
+package pathsel
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/paths"
+)
+
+// QueryPlan is the join strategy an Estimator chooses for a path query: a
+// zig-zag plan that starts the join at one label position and grows both
+// ways. A length-k query has k candidate plans; the estimator costs each
+// as the sum of its estimated intermediate-result sizes and picks the
+// cheapest, so histogram quality directly becomes plan quality.
+type QueryPlan struct {
+	// Start is the label position the join grows from: 0 is the classic
+	// forward (left-to-right) join, k−1 the backward join, interior values
+	// start at an estimated-selective label and grow both ways.
+	Start int
+	// Description is "forward", "backward", or "zigzag@i".
+	Description string
+	// EstimatedCost is the chosen plan's estimated total intermediate
+	// volume (sum of estimated segment selectivities, in vertex pairs).
+	EstimatedCost float64
+	// Costs holds the estimate for every candidate plan, indexed by start
+	// position, so callers can see the spread the choice was made over.
+	Costs []float64
+}
+
+// ExecStats reports an executed path query.
+type ExecStats struct {
+	// Plan is the strategy that was executed.
+	Plan QueryPlan
+	// Intermediates holds the actual distinct-pair count entering each
+	// join step (len(path)−1 entries).
+	Intermediates []int64
+	// Work is Σ Intermediates — the actual cost the planner tried to
+	// minimize.
+	Work int64
+	// Result is the exact selectivity |ℓ(G)| of the query.
+	Result int64
+}
+
+// planner builds the exec.Planner view over this estimator's histogram.
+func (e *Estimator) planner() exec.Planner {
+	return exec.Planner{Est: exec.EstimatorFunc(e.ph.Estimate)}
+}
+
+// parseBounded resolves a query and enforces the build-time length bound.
+func (e *Estimator) parseBounded(q string) (paths.Path, error) {
+	p, err := e.gr.parsePath(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) > e.cfg.MaxPathLength {
+		return nil, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+	}
+	return p, nil
+}
+
+// planParsed costs every candidate plan once and picks the winner.
+func (e *Estimator) planParsed(p paths.Path) QueryPlan {
+	costs := e.planner().Costs(p)
+	plan := exec.CheapestPlan(costs)
+	return QueryPlan{
+		Start:         plan.Start,
+		Description:   plan.Describe(len(p)),
+		EstimatedCost: costs[plan.Start],
+		Costs:         costs,
+	}
+}
+
+// PlanQuery chooses among the query's zig-zag join plans using this
+// estimator's histogram, without executing anything. The returned
+// QueryPlan carries the estimated cost of every candidate so the caller
+// can inspect the margin.
+func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
+	p, err := e.parseBounded(q)
+	if err != nil {
+		return QueryPlan{}, err
+	}
+	return e.planParsed(p), nil
+}
+
+// ExecuteQuery plans q with the histogram and carries the chosen plan out
+// on the hybrid execution engine, honoring Config.DensityThreshold. The
+// returned stats hold the exact result count and the actual intermediate
+// sizes, so estimate-driven plan quality is measurable against the ground
+// truth. Unlike the histogram methods this touches the graph itself, with
+// cost proportional to the intermediate volumes.
+func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
+	p, err := e.parseBounded(q)
+	if err != nil {
+		return ExecStats{}, err
+	}
+	plan := e.planParsed(p)
+	_, st := exec.ExecutePlan(e.gr.csr(), p, exec.Plan{Start: plan.Start},
+		exec.Options{DensityThreshold: e.cfg.DensityThreshold})
+	return ExecStats{
+		Plan:          plan,
+		Intermediates: st.Intermediates,
+		Work:          st.Work,
+		Result:        st.Result,
+	}, nil
+}

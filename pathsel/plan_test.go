@@ -1,0 +1,119 @@
+package pathsel
+
+import (
+	"strings"
+	"testing"
+)
+
+func planTestEstimator(t *testing.T) (*Graph, *Estimator) {
+	t.Helper()
+	g, err := GenerateDataset("Moreno health", 0.15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Build(g, Config{MaxPathLength: 3, Buckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, est
+}
+
+func TestPlanQueryShape(t *testing.T) {
+	_, est := planTestEstimator(t)
+	labels := est.gr.Labels()
+	q := strings.Join([]string{labels[0], labels[1], labels[0]}, "/")
+	plan, err := est.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Start < 0 || plan.Start >= 3 {
+		t.Fatalf("plan start %d out of range", plan.Start)
+	}
+	if len(plan.Costs) != 3 {
+		t.Fatalf("expected 3 candidate costs, got %d", len(plan.Costs))
+	}
+	if plan.EstimatedCost != plan.Costs[plan.Start] {
+		t.Fatal("EstimatedCost must be the chosen candidate's cost")
+	}
+	for s, c := range plan.Costs {
+		if c < plan.EstimatedCost {
+			t.Fatalf("chose start %d (cost %v) over cheaper start %d (cost %v)",
+				plan.Start, plan.EstimatedCost, s, c)
+		}
+	}
+	if plan.Description == "" {
+		t.Fatal("plan description empty")
+	}
+}
+
+func TestExecuteQueryMatchesTrueSelectivity(t *testing.T) {
+	g, est := planTestEstimator(t)
+	labels := g.Labels()
+	queries := []string{
+		labels[0],
+		labels[0] + "/" + labels[1],
+		labels[1] + "/" + labels[0] + "/" + labels[1],
+	}
+	for _, q := range queries {
+		st, err := est.ExecuteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.TrueSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Result != want {
+			t.Fatalf("query %q: executed result %d != exact selectivity %d", q, st.Result, want)
+		}
+		segs := strings.Count(q, "/") + 1
+		if len(st.Intermediates) != segs-1 {
+			t.Fatalf("query %q: %d intermediates, want %d", q, len(st.Intermediates), segs-1)
+		}
+		var work int64
+		for _, v := range st.Intermediates {
+			work += v
+		}
+		if st.Work != work {
+			t.Fatalf("query %q: Work %d != Σ intermediates %d", q, st.Work, work)
+		}
+	}
+}
+
+func TestExecuteQueryHonorsDensityThreshold(t *testing.T) {
+	g, err := GenerateDataset("Moreno health", 0.15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []int64
+	for _, density := range []float64{0, 1e-9, 1.0} {
+		est, err := Build(g, Config{MaxPathLength: 3, Buckets: 32, DensityThreshold: density})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := g.Labels()
+		st, err := est.ExecuteQuery(labels[0] + "/" + labels[1] + "/" + labels[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, st.Result)
+	}
+	if results[0] != results[1] || results[1] != results[2] {
+		t.Fatalf("DensityThreshold changed results: %v", results)
+	}
+}
+
+func TestPlanQueryErrors(t *testing.T) {
+	_, est := planTestEstimator(t)
+	if _, err := est.PlanQuery("no-such-label"); err == nil {
+		t.Fatal("unknown label should error")
+	}
+	labels := est.gr.Labels()
+	long := strings.Join([]string{labels[0], labels[0], labels[0], labels[0]}, "/")
+	if _, err := est.PlanQuery(long); err == nil {
+		t.Fatal("over-length query should error")
+	}
+	if _, err := est.ExecuteQuery(""); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
