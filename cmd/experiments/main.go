@@ -7,10 +7,15 @@
 // Usage:
 //
 //	experiments [-exp all|tables12|figure1|table3|table4|figure2|ablation|bounds]
-//	            [-scale 0.04] [-seed 1] [-full] [-csv DIR]
+//	            [-scale 0.04] [-seed 1] [-full] [-csv DIR] [-workers N]
 //
 // With -csv, each experiment additionally writes a machine-readable CSV
 // file (table4.csv, figure2.csv, …) into DIR for plotting.
+//
+// The -bench-json, -bench-exec-json, and -bench-par-exec-json flags
+// instead emit the committed BENCH_*.json perf artifacts (schema in
+// docs/benchmarks.md) and exit; -workers N overrides the worker count of
+// every bench emitter (default GOMAXPROCS).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -32,15 +38,18 @@ func main() {
 	maxK := flag.Int("maxk", 0, "cap the accuracy sweep's path length bound (0 = configuration default)")
 	benchJSON := flag.String("bench-json", "", "run the full census/compose/exec perf bench and write a BENCH JSON report to this file, then exit")
 	benchExecJSON := flag.String("bench-exec-json", "", "run only the query-execution perf bench and write a BENCH JSON report to this file, then exit")
+	benchParExecJSON := flag.String("bench-par-exec-json", "", "run only the parallel-executor scaling bench and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
 	flag.Parse()
 
 	for _, b := range []struct {
 		path string
 		run  func() *experiments.PerfReport
 	}{
-		{*benchJSON, func() *experiments.PerfReport { return experiments.RunPerfBench(*scale, *benchIters) }},
-		{*benchExecJSON, func() *experiments.PerfReport { return experiments.RunExecBench(*scale, *benchIters) }},
+		{*benchJSON, func() *experiments.PerfReport { return experiments.RunPerfBench(*scale, *benchIters, *workers) }},
+		{*benchExecJSON, func() *experiments.PerfReport { return experiments.RunExecBench(*scale, *benchIters, *workers) }},
+		{*benchParExecJSON, func() *experiments.PerfReport { return experiments.RunParExecBench(*scale, *benchIters, *workers) }},
 	} {
 		if b.path == "" {
 			continue
@@ -60,7 +69,7 @@ func main() {
 		}
 		fmt.Printf("wrote perf bench report to %s\n", b.path)
 	}
-	if *benchJSON != "" || *benchExecJSON != "" {
+	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" {
 		return
 	}
 

@@ -291,9 +291,11 @@ func denseRowCompose(src []uint64, op CSROperand, out []uint64) int {
 	return count
 }
 
-// emit stores the scatter accumulator into dst's row s, choosing the
-// sparse or dense form by dst's threshold, and resets the accumulator.
-func (scr *ComposeScratch) emit(dst *HybridRelation, s int32, count int) {
+// emitRow stores the scatter accumulator into dst's row s, choosing the
+// sparse or dense form by dst's threshold, and resets the accumulator. It
+// touches only the row itself — the caller accounts for dst's active list
+// and pair count, so sharded compositions can run rows concurrently.
+func (scr *ComposeScratch) emitRow(dst *HybridRelation, s int32, count int) {
 	row := &dst.rows[s]
 	row.count = int32(count)
 	if count <= dst.sparseMax {
@@ -330,8 +332,6 @@ func (scr *ComposeScratch) emit(dst *HybridRelation, s int32, count int) {
 		// complete row.
 		copy(row.words, scr.words)
 	}
-	dst.active = append(dst.active, s)
-	dst.pairs += int64(count)
 	scr.reset()
 }
 
@@ -346,52 +346,107 @@ func (scr *ComposeScratch) emit(dst *HybridRelation, s int32, count int) {
 // distinct-pair count of dst. h and dst must be distinct objects over the
 // same universe as op.
 func (h *HybridRelation) ComposeInto(dst *HybridRelation, op CSROperand, scr *ComposeScratch) int64 {
+	h.checkCompose(dst, op)
+	dst.Reset()
+	for _, s := range h.active {
+		if count := h.composeRow(dst, op, scr, s); count > 0 {
+			dst.active = append(dst.active, s)
+			dst.pairs += int64(count)
+		}
+	}
+	return dst.pairs
+}
+
+// checkCompose validates the shared preconditions of ComposeInto and
+// ComposeShardInto.
+func (h *HybridRelation) checkCompose(dst *HybridRelation, op CSROperand) {
 	if op.N != h.n {
 		panic(fmt.Sprintf("bitset: operand universe %d != relation universe %d", op.N, h.n))
 	}
 	if dst == h {
-		panic("bitset: ComposeInto aliasing dst == receiver")
+		panic("bitset: compose aliasing dst == receiver")
 	}
-	dst.Reset()
-	for _, s := range h.active {
-		row := &h.rows[s]
-		if row.dense {
-			drow := &dst.rows[s]
-			if drow.words == nil {
-				drow.words = make([]uint64, len(scr.words))
-			}
-			count := denseRowCompose(row.words, op, drow.words)
-			if count == 0 {
-				continue
-			}
-			drow.count = int32(count)
-			if count <= dst.sparseMax {
-				// Demote: extract the sorted ids; the dirty words are
-				// ignored until the next dense fill overwrites them.
-				drow.dense = false
-				drow.ids = drow.ids[:0]
-				for wi, w := range drow.words {
-					base := int32(wi * wordBits)
-					for w != 0 {
-						drow.ids = append(drow.ids, base+int32(bits.TrailingZeros64(w)))
-						w &= w - 1
-					}
-				}
-			} else {
-				drow.dense = true
-			}
-			dst.active = append(dst.active, s)
-			dst.pairs += int64(count)
-			continue
+}
+
+// composeRow computes row s of h ∘ op into dst.rows[s], dispatching to the
+// kernel matching s's representation, and returns the row's target count
+// (0 leaves dst.rows[s] in its Reset state, possibly with dirty dense
+// words that the count field marks as garbage). It touches nothing of dst
+// but the one row, so calls on distinct rows may run concurrently against
+// a shared dst as long as each caller owns its scratch.
+func (h *HybridRelation) composeRow(dst *HybridRelation, op CSROperand, scr *ComposeScratch, s int32) int {
+	row := &h.rows[s]
+	if row.dense {
+		drow := &dst.rows[s]
+		if drow.words == nil {
+			drow.words = make([]uint64, len(scr.words))
 		}
-		count := scr.scatterSparse(row.ids, op)
+		count := denseRowCompose(row.words, op, drow.words)
 		if count == 0 {
-			scr.reset()
-			continue
+			return 0
 		}
-		scr.emit(dst, s, count)
+		drow.count = int32(count)
+		if count <= dst.sparseMax {
+			// Demote: extract the sorted ids; the dirty words are
+			// ignored until the next dense fill overwrites them.
+			drow.dense = false
+			drow.ids = drow.ids[:0]
+			for wi, w := range drow.words {
+				base := int32(wi * wordBits)
+				for w != 0 {
+					drow.ids = append(drow.ids, base+int32(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+		} else {
+			drow.dense = true
+		}
+		return count
 	}
-	return dst.pairs
+	count := scr.scatterSparse(row.ids, op)
+	if count == 0 {
+		scr.reset()
+		return 0
+	}
+	scr.emitRow(dst, s, count)
+	return count
+}
+
+// ComposeShardInto composes one shard of h ∘ op — the rows of h's
+// active-source slice in index positions [lo, hi) — into dst's row array.
+// It is the partitioned form of ComposeInto for parallel execution:
+// shards with disjoint [lo, hi) ranges may run concurrently against the
+// same dst (each with its own scratch) because every row is written by
+// exactly one shard. dst must have been Reset by the coordinator first,
+// and dst's aggregate state (active list, pair count) is not touched —
+// the produced sources are appended to buf and returned with the shard's
+// pair count, for the coordinator to merge deterministically with
+// AdoptShard in ascending shard order.
+func (h *HybridRelation) ComposeShardInto(dst *HybridRelation, op CSROperand, scr *ComposeScratch, lo, hi int, buf []int32) ([]int32, int64) {
+	h.checkCompose(dst, op)
+	if lo < 0 || hi > len(h.active) || lo > hi {
+		panic(fmt.Sprintf("bitset: shard [%d,%d) out of active range [0,%d)", lo, hi, len(h.active)))
+	}
+	buf = buf[:0]
+	var pairs int64
+	for _, s := range h.active[lo:hi] {
+		if count := h.composeRow(dst, op, scr, s); count > 0 {
+			buf = append(buf, s)
+			pairs += int64(count)
+		}
+	}
+	return buf, pairs
+}
+
+// AdoptShard merges one shard's outcome (as returned by ComposeShardInto)
+// into the relation's aggregate state. Shards must be adopted sequentially
+// in ascending shard order so the active-source list stays sorted — the
+// concatenation of per-shard ascending source runs over ascending disjoint
+// ranges is exactly the list sequential ComposeInto would have built,
+// which is what keeps parallel composition bit-identical.
+func (h *HybridRelation) AdoptShard(sources []int32, pairs int64) {
+	h.active = append(h.active, sources...)
+	h.pairs += pairs
 }
 
 // Compose is the allocating convenience form of ComposeInto, for callers

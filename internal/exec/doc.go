@@ -20,12 +20,19 @@
 // (bitset.HybridRelation): two pooled relations double-buffer through the
 // specialized sparse×CSR / dense×CSR compose kernels, rightward steps use
 // successor operands, leftward steps use predecessor operands on the
-// reversed relation, and every row adapts its representation per step. The
-// retired dense-only executor survives as ExecuteDense, the reference that
-// equivalence tests (equivalence_test.go) pin the hybrid engine against.
+// reversed relation, and every row adapts its representation per step.
+// Each compose step is parallelized over the shared work-stealing
+// scheduler (internal/sched): the input relation's source rows are
+// partitioned into shards, composed concurrently into a shared
+// destination (rows are disjoint across shards), and merged
+// deterministically in shard order, so parallel output is bit-identical
+// to sequential execution. The retired dense-only executor survives as
+// ExecuteDense, the reference that equivalence tests
+// (equivalence_test.go, parallel_test.go) pin the hybrid engine against.
 //
 // Knobs: Options.DensityThreshold (fraction of |V| in (0,1]; ≤ 0 selects
 // the default 1/32, ≥ 1 keeps every row sparse) tunes the hybrid rows'
-// sparse→dense promotion point. It is purely a performance knob — results
-// are bit-identical at any setting.
+// sparse→dense promotion point; Options.Workers (≤ 0 selects GOMAXPROCS,
+// 1 runs sequential) sets the join-step parallelism. Both are purely
+// performance knobs — results are bit-identical at any setting.
 package exec

@@ -77,6 +77,14 @@ type Options struct {
 	// sparse). Purely a performance knob — results are identical at any
 	// setting.
 	DensityThreshold float64
+	// Workers is the join-step parallelism (≤ 0 selects GOMAXPROCS, 1
+	// runs fully sequential): the source rows of the relation entering
+	// each compose step are partitioned into shards and distributed over
+	// the shared work-stealing scheduler (internal/sched), then merged
+	// deterministically, so results are bit-identical at every setting —
+	// another performance-only knob. Relations too small to shard
+	// profitably execute sequentially regardless.
+	Workers int
 }
 
 // Stats reports what an execution actually did.
@@ -113,8 +121,14 @@ func Execute(g *graph.CSR, p paths.Path, dir Direction) (*bitset.HybridRelation,
 // densifies mid-join promotes in place; one that thins back out demotes).
 // Rightward steps compose with successor operands; leftward steps reverse
 // once and compose with predecessor operands, so no step ever multiplies
-// from the expensive side. It panics on an empty path or an out-of-range
-// plan start.
+// from the expensive side.
+//
+// Each compose step runs on Options.Workers work-stealing workers
+// (default GOMAXPROCS): the input relation's source rows are partitioned
+// into shards, composed concurrently into the shared destination (rows
+// are disjoint across shards), and merged deterministically, so the
+// result is bit-identical to sequential execution at every worker count.
+// It panics on an empty path or an out-of-range plan start.
 func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.HybridRelation, Stats) {
 	k := len(p)
 	if k == 0 {
@@ -131,11 +145,11 @@ func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.Hy
 		return cur, st
 	}
 	buf := bitset.NewHybrid(n, opt.DensityThreshold)
-	scr := bitset.NewComposeScratch(n)
+	stp := newStepper(n, opt.Workers)
 	// Grow rightward: cur holds the segment p[Start:j).
 	for j := plan.Start + 1; j < k; j++ {
 		st.Intermediates = append(st.Intermediates, cur.Pairs())
-		cur.ComposeInto(buf, g.LabelOperand(p[j]), scr)
+		stp.compose(cur, buf, g.LabelOperand(p[j]))
 		cur, buf = buf, cur
 	}
 	// Grow leftward on the reversed relation: prepending label l to a
@@ -147,7 +161,7 @@ func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.Hy
 		cur, buf = buf, cur
 		for i := plan.Start - 1; i >= 0; i-- {
 			st.Intermediates = append(st.Intermediates, cur.Pairs())
-			cur.ComposeInto(buf, g.PredecessorOperand(p[i]), scr)
+			stp.compose(cur, buf, g.PredecessorOperand(p[i]))
 			cur, buf = buf, cur
 		}
 		cur.ReverseInto(buf)

@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/sched"
+)
+
+// Shard sizing for parallel join steps. A shard is a contiguous run of the
+// input relation's active-source list; row composes are independent, so
+// work-stealing over several shards per worker absorbs row-weight skew
+// without any per-row bookkeeping.
+const (
+	// minShardRows is the smallest active-source count worth handing to
+	// another goroutine: below it one row range composes in roughly the
+	// time a spawn/steal handoff costs.
+	minShardRows = 32
+	// shardsPerWorker oversubscribes the shard count so stolen shards can
+	// rebalance a skewed row-weight distribution.
+	shardsPerWorker = 4
+)
+
+// shardTask identifies one shard of the current join step by index into
+// the stepper's bounds table. Tasks own disjoint row ranges, so bodies
+// write disjoint state — the determinism contract of internal/sched.
+type shardTask struct{ idx int }
+
+// stepper drives the sharded join steps of one ExecutePlan call on the
+// shared work-stealing scheduler (internal/sched). One stepper serves all
+// k−1 steps of a plan: per-worker scratches, per-shard source buffers, and
+// the scheduler itself persist across steps, so the steady state allocates
+// nothing beyond first use.
+type stepper struct {
+	sch     *sched.Scheduler[shardTask]
+	n       int
+	scratch []*bitset.ComposeScratch // lazily built, indexed by worker
+
+	// Per-step state, written by the coordinator between Drain rounds and
+	// read by shard bodies during one.
+	cur, dst *bitset.HybridRelation
+	op       bitset.CSROperand
+	bounds   []int     // shard i covers active positions [bounds[i], bounds[i+1])
+	srcs     [][]int32 // per-shard produced sources, reused across steps
+	pairs    []int64   // per-shard produced pair counts
+}
+
+// newStepper returns a stepper for an n-vertex universe with
+// sched.WorkerCount(workers) workers. No goroutines or scratches are
+// built until the first sharded step.
+func newStepper(n, workers int) *stepper {
+	st := &stepper{n: n}
+	st.sch = sched.New(workers, st.runShard)
+	st.scratch = make([]*bitset.ComposeScratch, st.sch.Workers())
+	return st
+}
+
+// scr returns worker w's compose scratch, building it on first use. Only
+// worker w's goroutine (or the coordinator between Drain rounds, for
+// sequential fallback steps through worker 0) ever touches slot w, so no
+// locking is needed.
+func (st *stepper) scr(w int) *bitset.ComposeScratch {
+	if st.scratch[w] == nil {
+		st.scratch[w] = bitset.NewComposeScratch(st.n)
+	}
+	return st.scratch[w]
+}
+
+// runShard is the scheduler task body: compose the shard's row range into
+// the shared destination with the executing worker's scratch, parking the
+// produced sources and pair count in the shard's own slots.
+func (st *stepper) runShard(worker int, t shardTask) {
+	lo, hi := st.bounds[t.idx], st.bounds[t.idx+1]
+	st.srcs[t.idx], st.pairs[t.idx] = st.cur.ComposeShardInto(
+		st.dst, st.op, st.scr(worker), lo, hi, st.srcs[t.idx])
+}
+
+// compose runs one join step cur ∘ op → dst. Relations with enough active
+// sources are partitioned into shards and composed in parallel, then
+// merged deterministically (AdoptShard in ascending shard order), so the
+// result — rows, active order, and pair count — is bit-identical to
+// sequential ComposeInto. Small relations and 1-worker configurations
+// fall through to the sequential kernel: parallelism is a performance
+// decision per step, never a semantic one.
+func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand) {
+	nact := cur.Sources()
+	workers := st.sch.Workers()
+	if workers == 1 || nact < 2*minShardRows {
+		cur.ComposeInto(dst, op, st.scr(0))
+		return
+	}
+	shards := workers * shardsPerWorker
+	if max := nact / minShardRows; shards > max {
+		shards = max
+	}
+	dst.Reset()
+	st.cur, st.dst, st.op = cur, dst, op
+	if cap(st.bounds) < shards+1 {
+		st.bounds = make([]int, shards+1)
+	}
+	st.bounds = st.bounds[:shards+1]
+	for len(st.srcs) < shards {
+		st.srcs = append(st.srcs, nil)
+	}
+	if len(st.pairs) < shards {
+		st.pairs = make([]int64, shards)
+	}
+	for i := 0; i <= shards; i++ {
+		st.bounds[i] = i * nact / shards
+	}
+	for i := 0; i < shards; i++ {
+		st.sch.Spawn(i%workers, shardTask{idx: i})
+	}
+	// Shard bodies never Spawn, so the static drain's goroutine count cap
+	// (min(workers, shards)) loses nothing.
+	st.sch.DrainStatic()
+	for i := 0; i < shards; i++ {
+		dst.AdoptShard(st.srcs[i], st.pairs[i])
+	}
+	st.cur, st.dst = nil, nil
+}

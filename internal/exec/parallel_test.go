@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paths"
+)
+
+// assertStatsEqual pins two executions' observable statistics identical.
+func assertStatsEqual(t *testing.T, ctx string, got, want Stats) {
+	t.Helper()
+	if got.Result != want.Result || got.Work != want.Work {
+		t.Fatalf("%s: result/work %d/%d != sequential %d/%d",
+			ctx, got.Result, got.Work, want.Result, want.Work)
+	}
+	if len(got.Intermediates) != len(want.Intermediates) {
+		t.Fatalf("%s: %d intermediates, sequential has %d",
+			ctx, len(got.Intermediates), len(want.Intermediates))
+	}
+	for i := range want.Intermediates {
+		if got.Intermediates[i] != want.Intermediates[i] {
+			t.Fatalf("%s: intermediate[%d] = %d, sequential %d",
+				ctx, i, got.Intermediates[i], want.Intermediates[i])
+		}
+	}
+}
+
+// TestExecuteParallelMatchesSequential is the parallel executor's
+// bit-identity property test: on random graphs across sizes, path
+// lengths, density thresholds, every zig-zag start, and worker counts
+// 1–8, ExecutePlan must produce exactly the relation and statistics of
+// its sequential (Workers: 1) mode. Run under -race (as CI does) it also
+// proves the sharded compose steps are data-race-free.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		vertices := 40 + rng.Intn(200)
+		labels := 1 + rng.Intn(4)
+		edges := vertices + rng.Intn(8*vertices)
+		g := randomGraph(int64(100+trial), vertices, labels, edges)
+		n := 2 + rng.Intn(3)
+		p := make(paths.Path, n)
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		for _, density := range []float64{0, 1.0} {
+			for s := 0; s < len(p); s++ {
+				seqRel, seqSt := ExecutePlan(g, p, Plan{Start: s},
+					Options{DensityThreshold: density, Workers: 1})
+				for workers := 2; workers <= 8; workers++ {
+					ctx := fmt.Sprintf("trial %d density %v start %d workers %d",
+						trial, density, s, workers)
+					rel, st := ExecutePlan(g, p, Plan{Start: s},
+						Options{DensityThreshold: density, Workers: workers})
+					if !rel.Equal(seqRel) {
+						t.Fatalf("%s: parallel relation differs from sequential", ctx)
+					}
+					assertStatsEqual(t, ctx, st, seqSt)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteParallelLargeFanout forces the sharded path hard: a dense
+// random graph whose intermediate relations activate most sources, so
+// every join step actually partitions, at a worker count above GOMAXPROCS.
+func TestExecuteParallelLargeFanout(t *testing.T) {
+	g := randomGraph(7, 400, 2, 6000)
+	p := paths.Path{0, 1, 0, 1}
+	for s := range p {
+		seqRel, seqSt := ExecutePlan(g, p, Plan{Start: s}, Options{Workers: 1})
+		rel, st := ExecutePlan(g, p, Plan{Start: s}, Options{Workers: 16})
+		if !rel.Equal(seqRel) {
+			t.Fatalf("start %d: 16-worker relation differs from sequential", s)
+		}
+		assertStatsEqual(t, fmt.Sprintf("start %d", s), st, seqSt)
+	}
+}
+
+// TestExecuteDefaultsParallel pins the Workers ≤ 0 → GOMAXPROCS default:
+// the convenience entry points run the parallel engine and still match
+// the dense reference (the existing equivalence suite covers this too;
+// this test exists so the default's semantics are named somewhere).
+func TestExecuteDefaultsParallel(t *testing.T) {
+	g := randomGraph(9, 150, 3, 2000)
+	p := paths.Path{0, 1, 2}
+	dref, _ := ExecuteDense(g, p, Forward)
+	rel, _ := Execute(g, p, Forward)
+	if !rel.EqualRelation(dref) {
+		t.Fatal("default-options Execute differs from dense reference")
+	}
+}
+
+// FuzzExecParallelEquivalence fuzzes graph shape, path, plan start,
+// density, and worker count, asserting parallel ≡ sequential ≡ dense on
+// every input.
+func FuzzExecParallelEquivalence(f *testing.F) {
+	f.Add(int64(1), 60, 2, 300, uint16(0x1234), 0, float64(0), uint8(4))
+	f.Add(int64(2), 120, 3, 900, uint16(0x0042), 1, float64(1), uint8(8))
+	f.Add(int64(3), 40, 1, 80, uint16(0x0000), 0, float64(1e-9), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, vertices, labels, edges int, pathBits uint16, start int, density float64, workers uint8) {
+		if vertices < 1 || vertices > 250 || labels < 1 || labels > 4 ||
+			edges < 0 || edges > 2000 || density < 0 || density > 1 {
+			t.Skip()
+		}
+		g := randomGraph(seed, vertices, labels, edges)
+		k := 1 + int(pathBits>>12)%4
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = int(pathBits>>(4*i)) % labels
+		}
+		if start < 0 || start >= k {
+			t.Skip()
+		}
+		w := int(workers%8) + 1
+		dref, _ := ExecuteDense(g, p, Forward)
+		seqRel, seqSt := ExecutePlan(g, p, Plan{Start: start},
+			Options{DensityThreshold: density, Workers: 1})
+		rel, st := ExecutePlan(g, p, Plan{Start: start},
+			Options{DensityThreshold: density, Workers: w})
+		if !rel.Equal(seqRel) || !rel.EqualRelation(dref) {
+			t.Fatalf("path %v start %d workers %d: parallel diverged", p, start, w)
+		}
+		if st.Result != seqSt.Result || st.Work != seqSt.Work {
+			t.Fatalf("path %v start %d workers %d: stats diverged", p, start, w)
+		}
+	})
+}

@@ -11,10 +11,21 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/paths"
+	"repro/internal/sched"
 )
 
 // PerfBenchK is the path-length bound every perf-bench census runs at.
 const PerfBenchK = 3
+
+// BenchSchemaVersion is the schema_version stamped into every PerfReport.
+// Version history (see docs/benchmarks.md):
+//
+//	1 — go_version, gomaxprocs, scale, results (implicit; the field did
+//	    not exist).
+//	2 — adds schema_version, num_cpu (host core count), and workers (the
+//	    configured worker-count override the emitters ran with), making
+//	    the 1-core caveat machine-readable.
+const BenchSchemaVersion = 2
 
 // SkewedScalingGraph is the worker-scaling workload shared by RunPerfBench
 // and the top-level BenchmarkCensusSkewedScaling, so `go test -bench` and
@@ -38,13 +49,45 @@ type PerfResult struct {
 }
 
 // PerfReport is the committed BENCH_*.json artifact: a snapshot of the
-// census and compose-kernel performance so the trajectory is tracked
-// across PRs.
+// census, executor, and compose-kernel performance so the trajectory is
+// tracked across PRs. GOMAXPROCS, NumCPU, and Workers make the
+// measurement host's parallelism machine-readable: a report with
+// gomaxprocs 1 cannot show wall-clock worker scaling no matter what the
+// workers field says (docs/benchmarks.md, "The 1-core caveat").
 type PerfReport struct {
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Scale      float64      `json:"scale"`
-	Results    []PerfResult `json:"results"`
+	SchemaVersion int          `json:"schema_version"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	NumCPU        int          `json:"num_cpu"`
+	Workers       int          `json:"workers"`
+	Scale         float64      `json:"scale"`
+	Results       []PerfResult `json:"results"`
+}
+
+// newPerfReport stamps the environment fields of a report. scale must
+// already be defaulted; workers must already be resolved through
+// sched.WorkerCount.
+func newPerfReport(scale float64, workers int) *PerfReport {
+	return &PerfReport{
+		SchemaVersion: BenchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Workers:       workers,
+		Scale:         scale,
+	}
+}
+
+// benchDefaults normalizes the shared emitter knobs: scale defaults to
+// 0.05, iters to 3, workers (≤ 0) to GOMAXPROCS.
+func benchDefaults(scale float64, iters, workers int) (float64, int, int) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	return scale, iters, sched.WorkerCount(workers)
 }
 
 // WriteJSON encodes the report, indented, to w.
@@ -79,14 +122,16 @@ func benchSnapFF(scale float64) *graph.CSR {
 // executor against the hybrid engine for the forward and backward
 // endpoint plans, plus the hybrid-only interior zig-zag start and the
 // union (disjunction) evaluator. Each measurement runs every
-// ExecBenchQueries path once per iteration.
-func execBenchResults(g *graph.CSR, iters int) []PerfResult {
+// ExecBenchQueries path once per iteration. Hybrid rows execute at the
+// given (already resolved) worker count and record it.
+func execBenchResults(g *graph.CSR, iters, workers int) []PerfResult {
 	execIters := iters * 5
+	opt := exec.Options{Workers: workers}
 	var out []PerfResult
 
-	run := func(name string, ns, baseline int64) {
+	run := func(name string, ns, baseline int64, w int) {
 		// K is omitted: the workload mixes path lengths 3 and 4.
-		r := PerfResult{Name: name, Dataset: "SNAP-FF", Iters: execIters, NsPerOp: ns}
+		r := PerfResult{Name: name, Dataset: "SNAP-FF", Workers: w, Iters: execIters, NsPerOp: ns}
 		if baseline > 0 {
 			r.Speedup = float64(baseline) / float64(ns)
 		}
@@ -98,59 +143,134 @@ func execBenchResults(g *graph.CSR, iters int) []PerfResult {
 			exec.ExecuteDense(g, q, exec.Forward)
 		}
 	})
-	run("exec/legacy-dense-forward", legacyFwd, 0)
+	run("exec/legacy-dense-forward", legacyFwd, 0, 0)
 	hybridFwd := timeOp(execIters, func() {
 		for _, q := range ExecBenchQueries {
-			exec.ExecutePlan(g, q, exec.Plan{Start: 0}, exec.Options{})
+			exec.ExecutePlan(g, q, exec.Plan{Start: 0}, opt)
 		}
 	})
-	run("exec/hybrid-forward", hybridFwd, legacyFwd)
+	run("exec/hybrid-forward", hybridFwd, legacyFwd, workers)
 
 	legacyBwd := timeOp(execIters, func() {
 		for _, q := range ExecBenchQueries {
 			exec.ExecuteDense(g, q, exec.Backward)
 		}
 	})
-	run("exec/legacy-dense-backward", legacyBwd, 0)
+	run("exec/legacy-dense-backward", legacyBwd, 0, 0)
 	hybridBwd := timeOp(execIters, func() {
 		for _, q := range ExecBenchQueries {
-			exec.ExecutePlan(g, q, exec.Plan{Start: len(q) - 1}, exec.Options{})
+			exec.ExecutePlan(g, q, exec.Plan{Start: len(q) - 1}, opt)
 		}
 	})
-	run("exec/hybrid-backward", hybridBwd, legacyBwd)
+	run("exec/hybrid-backward", hybridBwd, legacyBwd, workers)
 
 	// Interior zig-zag start: no legacy counterpart; baseline against the
 	// hybrid forward plan so the reversal overhead is visible.
 	zigzag := timeOp(execIters, func() {
 		for _, q := range ExecBenchQueries {
-			exec.ExecutePlan(g, q, exec.Plan{Start: 1}, exec.Options{})
+			exec.ExecutePlan(g, q, exec.Plan{Start: 1}, opt)
 		}
 	})
-	run("exec/hybrid-zigzag@1", zigzag, hybridFwd)
+	run("exec/hybrid-zigzag@1", zigzag, hybridFwd, workers)
 
 	// Union (pattern disjunction) over all bench queries.
 	union := timeOp(execIters, func() {
 		paths.UnionSelectivity(g, ExecBenchQueries)
 	})
-	run("exec/union-selectivity", union, 0)
+	run("exec/union-selectivity", union, 0, 0)
 	return out
 }
 
 // RunExecBench measures only the query-execution section — the
-// BENCH_exec.json artifact. scale/iters default to 0.05/3 when ≤ 0.
-func RunExecBench(scale float64, iters int) *PerfReport {
-	if scale <= 0 {
-		scale = 0.05
+// BENCH_exec.json artifact. scale/iters default to 0.05/3 when ≤ 0;
+// workers ≤ 0 selects GOMAXPROCS.
+func RunExecBench(scale float64, iters, workers int) *PerfReport {
+	scale, iters, workers = benchDefaults(scale, iters, workers)
+	rep := newPerfReport(scale, workers)
+	rep.Results = execBenchResults(benchSnapFF(scale), iters, workers)
+	return rep
+}
+
+// workerLadder measures one operation across the deduplicated worker
+// counts (rungs < 1 are skipped), reporting each rung's speedup against
+// the first — sequential — rung. template supplies the constant fields
+// (Name, Dataset, K, Iters); Workers, NsPerOp, and Speedup are filled per
+// rung. Both scaling sections (census/hybrid-skewed, parexec/*) emit
+// through this one helper so their rung sets cannot drift apart.
+func workerLadder(counts []int, template PerfResult, measure func(w int) int64) []PerfResult {
+	var out []PerfResult
+	var base int64
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		r := template
+		r.Workers = w
+		r.NsPerOp = measure(w)
+		if base == 0 {
+			base = r.NsPerOp
+		} else {
+			r.Speedup = float64(base) / float64(r.NsPerOp)
+		}
+		out = append(out, r)
 	}
-	if iters <= 0 {
-		iters = 3
+	return out
+}
+
+// parExecBenchResults measures the parallel executor's worker scaling on
+// SNAP-FF: every plan shape at worker counts 1, 2, 4, and the configured
+// override, with each shape's 1-worker (sequential) run as its speedup
+// baseline. On a GOMAXPROCS=1 host the >1-worker rows time the same
+// single-core execution plus scheduling overhead — that is the point of
+// recording gomaxprocs/num_cpu in the report header.
+func parExecBenchResults(g *graph.CSR, iters, workers int) []PerfResult {
+	execIters := iters * 5
+	var out []PerfResult
+	shapes := []struct {
+		name  string
+		start func(q paths.Path) int
+	}{
+		{"parexec/forward", func(paths.Path) int { return 0 }},
+		{"parexec/backward", func(q paths.Path) int { return len(q) - 1 }},
+		{"parexec/zigzag@1", func(paths.Path) int { return 1 }},
 	}
-	return &PerfReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      scale,
-		Results:    execBenchResults(benchSnapFF(scale), iters),
+	// Warm the graph's lazy operands (successor and predecessor CSRs)
+	// outside the timed region so the 1-worker baseline, which runs
+	// first, is not charged for them. One untimed pass per measured plan
+	// shape guarantees coverage structurally — every operand a timed run
+	// can touch has been built — rather than relying on the current query
+	// set's labels happening to appear in both directions.
+	for _, shape := range shapes {
+		for _, q := range ExecBenchQueries {
+			exec.ExecutePlan(g, q, exec.Plan{Start: shape.start(q)}, exec.Options{Workers: 1})
+		}
 	}
+	counts := []int{1, 2, 4, workers}
+	for _, shape := range shapes {
+		out = append(out, workerLadder(counts,
+			PerfResult{Name: shape.name, Dataset: "SNAP-FF", Iters: execIters},
+			func(w int) int64 {
+				opt := exec.Options{Workers: w}
+				return timeOp(execIters, func() {
+					for _, q := range ExecBenchQueries {
+						exec.ExecutePlan(g, q, exec.Plan{Start: shape.start(q)}, opt)
+					}
+				})
+			})...)
+	}
+	return out
+}
+
+// RunParExecBench measures only the parallel-executor scaling section —
+// the BENCH_parexec.json artifact. scale/iters default to 0.05/3 when
+// ≤ 0; workers ≤ 0 selects GOMAXPROCS.
+func RunParExecBench(scale float64, iters, workers int) *PerfReport {
+	scale, iters, workers = benchDefaults(scale, iters, workers)
+	rep := newPerfReport(scale, workers)
+	rep.Results = parExecBenchResults(benchSnapFF(scale), iters, workers)
+	return rep
 }
 
 // timeOp runs fn iters times and returns the mean ns/op.
@@ -164,20 +284,13 @@ func timeOp(iters int, fn func()) int64 {
 
 // RunPerfBench measures the census engines (legacy sequential vs hybrid
 // work-stealing at several worker counts) on the synthetic Table 3
-// datasets plus a skewed-label scaling graph, and the compose kernels in
-// isolation. scale/iters default to 0.05/3 when ≤ 0.
-func RunPerfBench(scale float64, iters int) *PerfReport {
-	if scale <= 0 {
-		scale = 0.05
-	}
-	if iters <= 0 {
-		iters = 3
-	}
-	rep := &PerfReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      scale,
-	}
+// datasets plus a skewed-label scaling graph, the query executors, and
+// the compose kernels in isolation. scale/iters default to 0.05/3 when
+// ≤ 0; workers ≤ 0 selects GOMAXPROCS, and the resolved count joins the
+// fixed {1, 2, 4} rungs of every scaling ladder (deduplicated).
+func RunPerfBench(scale float64, iters, workers int) *PerfReport {
+	scale, iters, workers = benchDefaults(scale, iters, workers)
+	rep := newPerfReport(scale, workers)
 	const k = PerfBenchK
 
 	// Census engines on the synthetic Table 3 datasets.
@@ -186,20 +299,20 @@ func RunPerfBench(scale float64, iters int) *PerfReport {
 		g := dataset.Generate(spec, scale, 1).Freeze()
 		legacy := timeOp(iters, func() { paths.NewCensus(g, k) })
 		rep.Results = append(rep.Results, PerfResult{
-			Name: "census/legacy", Dataset: spec.Name, K: k, Workers: 1,
+			Name: "census/legacy", Dataset: spec.Name, K: k,
 			Iters: iters, NsPerOp: legacy,
 		})
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, w := range []int{1, workers} {
 			ns := timeOp(iters, func() {
-				paths.NewCensusHybrid(g, k, paths.CensusOptions{Workers: workers})
+				paths.NewCensusHybrid(g, k, paths.CensusOptions{Workers: w})
 			})
 			rep.Results = append(rep.Results, PerfResult{
-				Name: "census/hybrid", Dataset: spec.Name, K: k, Workers: workers,
+				Name: "census/hybrid", Dataset: spec.Name, K: k, Workers: w,
 				Iters: iters, NsPerOp: ns,
 				Speedup: float64(legacy) / float64(ns),
 			})
-			if workers == runtime.GOMAXPROCS(0) && workers == 1 {
-				break // avoid duplicate row on single-core hosts
+			if workers == 1 {
+				break // avoid duplicate row on single-worker runs
 			}
 		}
 	}
@@ -207,33 +320,21 @@ func RunPerfBench(scale float64, iters int) *PerfReport {
 	// Worker scaling on a skewed label distribution — the load-imbalance
 	// case the work-stealing scheduler exists for.
 	skew := SkewedScalingGraph()
-	var base int64
-	seen := map[int]bool{}
-	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
-		if seen[workers] {
-			continue
-		}
-		seen[workers] = true
-		ns := timeOp(iters, func() {
-			paths.NewCensusHybrid(skew, k, paths.CensusOptions{Workers: workers})
-		})
-		res := PerfResult{
-			Name: "census/hybrid-skewed", Dataset: "erdos-renyi-zipf1.8",
-			K: k, Workers: workers, Iters: iters, NsPerOp: ns,
-		}
-		if base == 0 {
-			base = ns
-		} else {
-			res.Speedup = float64(base) / float64(ns)
-		}
-		rep.Results = append(rep.Results, res)
-	}
+	rep.Results = append(rep.Results, workerLadder([]int{1, 2, 4, workers},
+		PerfResult{Name: "census/hybrid-skewed", Dataset: "erdos-renyi-zipf1.8", K: k, Iters: iters},
+		func(w int) int64 {
+			return timeOp(iters, func() {
+				paths.NewCensusHybrid(skew, k, paths.CensusOptions{Workers: w})
+			})
+		})...)
 
 	// Query execution on SNAP-FF: the forward-join benchmark the exec
-	// port is judged by, plus the other plan shapes. See RunExecBench.
+	// port is judged by, plus the other plan shapes and the parallel
+	// executor's scaling ladder. See RunExecBench / RunParExecBench.
 	// The same frozen graph also serves the compose-kernel section below.
 	g := benchSnapFF(scale)
-	rep.Results = append(rep.Results, execBenchResults(g, iters)...)
+	rep.Results = append(rep.Results, execBenchResults(g, iters, workers)...)
+	rep.Results = append(rep.Results, parExecBenchResults(g, iters, workers)...)
 
 	// Compose kernels in isolation on SNAP-FF label 0.
 	op := g.LabelOperand(0)

@@ -2,13 +2,11 @@ package paths
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/combinat"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // DefaultSplitPairs is the minimum prefix selectivity at which a census
@@ -34,9 +32,7 @@ type CensusOptions struct {
 }
 
 func (o CensusOptions) fill() CensusOptions {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = sched.WorkerCount(o.Workers)
 	if o.SplitPairs <= 0 {
 		o.SplitPairs = DefaultSplitPairs
 	}
@@ -51,102 +47,32 @@ type censusTask struct {
 	rel *bitset.HybridRelation
 }
 
-// taskDeque is a mutex-guarded work-stealing deque: the owner pushes and
-// pops at the tail (LIFO, preserving DFS locality), thieves take from the
-// head (FIFO, so the shallowest — largest — subtrees migrate first).
-type taskDeque struct {
-	mu    sync.Mutex
-	tasks []censusTask
-	head  int
-}
-
-func (d *taskDeque) push(t censusTask) {
-	d.mu.Lock()
-	d.tasks = append(d.tasks, t)
-	d.mu.Unlock()
-}
-
-func (d *taskDeque) pop() (censusTask, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head == len(d.tasks) {
-		return censusTask{}, false
-	}
-	t := d.tasks[len(d.tasks)-1]
-	d.tasks[len(d.tasks)-1] = censusTask{}
-	d.tasks = d.tasks[:len(d.tasks)-1]
-	if d.head == len(d.tasks) {
-		d.tasks = d.tasks[:0]
-		d.head = 0
-	}
-	return t, true
-}
-
-func (d *taskDeque) steal() (censusTask, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head == len(d.tasks) {
-		return censusTask{}, false
-	}
-	t := d.tasks[d.head]
-	d.tasks[d.head] = censusTask{}
-	d.head++
-	if d.head == len(d.tasks) {
-		d.tasks = d.tasks[:0]
-		d.head = 0
-	}
-	return t, true
-}
-
-// relPool is a per-worker free list of hybrid relations. Relations keep
-// row capacity across reuse, so the steady-state DFS allocates nothing.
-// Stolen tasks carry their relation across workers; it simply retires into
-// the thief's pool.
-type relPool struct {
-	free    []*bitset.HybridRelation
-	n       int
-	density float64
-}
-
-func (p *relPool) get() *bitset.HybridRelation {
-	if k := len(p.free); k > 0 {
-		r := p.free[k-1]
-		p.free = p.free[:k-1]
-		return r
-	}
-	return bitset.NewHybrid(p.n, p.density)
-}
-
-func (p *relPool) put(r *bitset.HybridRelation) { p.free = append(p.free, r) }
-
+// censusWorker is one worker's private state: a relation free list and a
+// compose accumulator, indexed by the scheduler's worker id so no
+// synchronization is ever needed.
 type censusWorker struct {
-	deque   taskDeque
-	pool    relPool
+	pool    sched.Pool[*bitset.HybridRelation]
 	scratch *bitset.ComposeScratch
 }
 
+// censusEngine is the census client of the shared work-stealing scheduler
+// (internal/sched): tasks are trie subtrees, spawned dynamically whenever
+// a prefix's selectivity reaches splitPairs.
 type censusEngine struct {
-	c           *Census
-	ops         []bitset.CSROperand
-	workers     []*censusWorker
-	outstanding atomic.Int64
-	splitPairs  int64
-
-	// Idle workers park on cond instead of busy-polling; spawn signals it
-	// when sleeping > 0, and the worker that retires the last task
-	// broadcasts so parked workers observe termination.
-	mu       sync.Mutex
-	cond     *sync.Cond
-	sleeping atomic.Int64
+	c          *Census
+	ops        []bitset.CSROperand
+	sch        *sched.Scheduler[censusTask]
+	workers    []censusWorker
+	splitPairs int64
 }
 
 // NewCensusHybrid computes the same census as NewCensus on the hybrid
 // sparse/dense substrate: per-row adaptive representations, per-worker
-// relation pools (allocation-free steady state), and a work-stealing
-// scheduler that splits subtrees at any trie depth, so skewed label
-// distributions keep every worker busy. The result is bit-identical to
-// NewCensus — the engine changes how frequencies are computed, never their
-// values.
+// relation pools (allocation-free steady state), and the shared
+// work-stealing scheduler (internal/sched) splitting subtrees at any trie
+// depth, so skewed label distributions keep every worker busy. The result
+// is bit-identical to NewCensus — the engine changes how frequencies are
+// computed, never their values.
 func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
 	if k < 1 {
 		panic(fmt.Sprintf("paths: census needs k ≥ 1, got %d", k))
@@ -164,14 +90,15 @@ func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
 	e := &censusEngine{
 		c:          c,
 		ops:        g.Operands(opt.DensityThreshold < 1),
-		workers:    make([]*censusWorker, opt.Workers),
+		workers:    make([]censusWorker, opt.Workers),
 		splitPairs: opt.SplitPairs,
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.sch = sched.New(opt.Workers, e.runTask)
+	n, density := g.NumVertices(), opt.DensityThreshold
 	for i := range e.workers {
-		e.workers[i] = &censusWorker{
-			pool:    relPool{n: g.NumVertices(), density: opt.DensityThreshold},
-			scratch: bitset.NewComposeScratch(g.NumVertices()),
+		e.workers[i] = censusWorker{
+			pool:    sched.Pool[*bitset.HybridRelation]{New: func() *bitset.HybridRelation { return bitset.NewHybrid(n, density) }},
+			scratch: bitset.NewComposeScratch(n),
 		}
 	}
 	// Seed: one task per non-empty first-label subtree, round-robin across
@@ -184,136 +111,42 @@ func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
 		if k == 1 || rel.Pairs() == 0 {
 			continue
 		}
-		e.outstanding.Add(1)
-		e.workers[l%len(e.workers)].deque.push(censusTask{p: p, rel: rel})
+		e.sch.Spawn(l, censusTask{p: p, rel: rel})
 	}
-	if e.outstanding.Load() == 0 {
-		return c
-	}
-	var wg sync.WaitGroup
-	for id := range e.workers {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			e.run(id)
-		}()
-	}
-	wg.Wait()
+	e.sch.Drain()
 	return c
 }
 
-// run is the worker loop: drain the local deque LIFO, steal FIFO from
-// others when empty, park when no work is visible, exit when no task is
-// outstanding anywhere.
-func (e *censusEngine) run(id int) {
-	w := e.workers[id]
-	for {
-		t, ok := w.deque.pop()
-		if !ok {
-			t, ok = e.steal(id)
-		}
-		if !ok {
-			if e.outstanding.Load() == 0 {
-				e.wakeAll()
-				return
-			}
-			if !e.park(id) {
-				e.wakeAll()
-				return
-			}
-			continue
-		}
-		e.expand(w, t.p, t.rel)
-		w.pool.put(t.rel)
-		if e.outstanding.Add(-1) == 0 {
-			e.wakeAll()
-		}
-	}
-}
-
-// park blocks until new work may exist. It returns false when the census
-// is complete. Announcing sleeping before the final re-scan closes the
-// race with spawn: a spawner that missed the sleeping count pushed before
-// our announcement, so the re-scan (which acquires the same deque locks)
-// observes its task.
-func (e *censusEngine) park(id int) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.sleeping.Add(1)
-	defer e.sleeping.Add(-1)
-	if e.hasWork(id) {
-		return true // let the caller re-scan and actually steal it
-	}
-	if e.outstanding.Load() == 0 {
-		return false
-	}
-	e.cond.Wait()
-	return true
-}
-
-// hasWork reports whether any other worker's deque is non-empty, without
-// consuming anything.
-func (e *censusEngine) hasWork(id int) bool {
-	for i := 1; i < len(e.workers); i++ {
-		d := &e.workers[(id+i)%len(e.workers)].deque
-		d.mu.Lock()
-		n := len(d.tasks) - d.head
-		d.mu.Unlock()
-		if n > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func (e *censusEngine) wakeAll() {
-	e.mu.Lock()
-	e.cond.Broadcast()
-	e.mu.Unlock()
-}
-
-// spawn enqueues a subtree task on the worker's own deque and wakes a
-// parked worker to steal it.
-func (e *censusEngine) spawn(w *censusWorker, t censusTask) {
-	e.outstanding.Add(1)
-	w.deque.push(t)
-	if e.sleeping.Load() > 0 {
-		e.mu.Lock()
-		e.cond.Signal()
-		e.mu.Unlock()
-	}
-}
-
-func (e *censusEngine) steal(id int) (censusTask, bool) {
-	for i := 1; i < len(e.workers); i++ {
-		if t, ok := e.workers[(id+i)%len(e.workers)].deque.steal(); ok {
-			return t, ok
-		}
-	}
-	return censusTask{}, false
+// runTask is the scheduler task body: expand the subtree on the executing
+// worker's pooled state, then retire the task's relation into that
+// worker's pool (stolen tasks carry their relation across workers).
+func (e *censusEngine) runTask(worker int, t censusTask) {
+	w := &e.workers[worker]
+	e.expand(worker, w, t.p, t.rel)
+	w.pool.Put(t.rel)
 }
 
 // expand records the frequency of every child of prefix p and either
 // recurses inline (reusing pooled relations) or re-enqueues large subtrees
 // for stealing. p must have capacity ≥ k so appends never reallocate.
-func (e *censusEngine) expand(w *censusWorker, p Path, rel *bitset.HybridRelation) {
+func (e *censusEngine) expand(worker int, w *censusWorker, p Path, rel *bitset.HybridRelation) {
 	depth := len(p)
 	for l := 0; l < e.c.numLabels; l++ {
-		child := w.pool.get()
+		child := w.pool.Get()
 		pairs := rel.ComposeInto(child, e.ops[l], w.scratch)
 		cp := append(p, l)
 		e.c.freq[CanonicalIndex(cp, e.c.numLabels, e.c.k)] = pairs
 		if pairs == 0 || depth+1 == e.c.k {
-			w.pool.put(child)
+			w.pool.Put(child)
 			continue
 		}
 		if pairs >= e.splitPairs {
 			tp := make(Path, len(cp), e.c.k)
 			copy(tp, cp)
-			e.spawn(w, censusTask{p: tp, rel: child})
+			e.sch.Spawn(worker, censusTask{p: tp, rel: child})
 		} else {
-			e.expand(w, cp, child)
-			w.pool.put(child)
+			e.expand(worker, w, cp, child)
+			w.pool.Put(child)
 		}
 	}
 }

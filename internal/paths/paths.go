@@ -13,7 +13,7 @@
 // allocating reference implementation on dense bitset.Relation rows, and
 // NewCensusHybrid (reached via NewCensusParallel), the production engine
 // on pooled hybrid sparse/dense relations with work-stealing trie
-// parallelism. Single-path evaluation mirrors the split: Evaluate,
+// parallelism over the shared scheduling layer (internal/sched). Single-path evaluation mirrors the split: Evaluate,
 // Selectivity, and UnionSelectivity run on the hybrid substrate, while
 // EvaluateDense survives as the dense reference. Property and fuzz tests
 // in equivalence_test.go pin every hybrid entry point bit-identical to

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount normalizes a worker-count knob: values ≤ 0 select
+// GOMAXPROCS. Every layer that exposes a Workers option (pathsel.Config,
+// paths.CensusOptions, exec.Options) resolves it through this one rule.
+func WorkerCount(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// deque is a mutex-guarded work-stealing deque: the owner pushes and pops
+// at the tail (LIFO), thieves take from the head (FIFO). The mutex is
+// uncontended in the common case — owners touch their own deque far more
+// often than thieves do — so a lock-free deque would buy little here.
+type deque[T any] struct {
+	mu    sync.Mutex
+	tasks []T
+	head  int
+}
+
+func (d *deque[T]) push(t T) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque[T]) pop() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.tasks) {
+		var zero T
+		return zero, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	var zero T
+	d.tasks[len(d.tasks)-1] = zero
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	if d.head == len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	}
+	return t, true
+}
+
+func (d *deque[T]) steal() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.tasks) {
+		var zero T
+		return zero, false
+	}
+	t := d.tasks[d.head]
+	var zero T
+	d.tasks[d.head] = zero
+	d.head++
+	if d.head == len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	}
+	return t, true
+}
+
+// size returns the number of queued tasks, briefly taking the lock.
+func (d *deque[T]) size() int {
+	d.mu.Lock()
+	n := len(d.tasks) - d.head
+	d.mu.Unlock()
+	return n
+}
+
+// Scheduler runs tasks of type T over a fixed worker set with per-worker
+// deques and FIFO stealing. The task body is fixed at construction; per
+// task it receives the executing worker's index, so clients key per-worker
+// scratch state (pools, accumulators) by that index without
+// synchronization.
+type Scheduler[T any] struct {
+	body   func(worker int, task T)
+	deques []deque[T]
+
+	// outstanding counts spawned-but-not-yet-completed tasks; Drain
+	// terminates when it reaches zero.
+	outstanding atomic.Int64
+
+	// Idle workers park on cond instead of busy-polling; Spawn signals it
+	// when sleeping > 0, and the worker that retires the last task
+	// broadcasts so parked workers observe termination.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleeping atomic.Int64
+}
+
+// New returns a scheduler with WorkerCount(workers) workers that executes
+// every task with body. No goroutines start until Drain.
+func New[T any](workers int, body func(worker int, task T)) *Scheduler[T] {
+	s := &Scheduler[T]{body: body, deques: make([]deque[T], WorkerCount(workers))}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Workers returns the fixed worker count.
+func (s *Scheduler[T]) Workers() int { return len(s.deques) }
+
+// Spawn enqueues a task on the given worker's deque (modulo the worker
+// count) and wakes a parked worker if any. Call it before Drain to seed
+// the initial task set, or from inside a running task body — normally with
+// the body's own worker index, so the child is popped LIFO locally and
+// stolen FIFO by idle workers.
+func (s *Scheduler[T]) Spawn(worker int, task T) {
+	s.outstanding.Add(1)
+	s.deques[worker%len(s.deques)].push(task)
+	if s.sleeping.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// Drain runs one worker goroutine per deque until every spawned task —
+// including tasks spawned from inside task bodies — has completed, then
+// returns. The full worker set must start because bodies may Spawn: a
+// single seed can fan out to fill every worker (the census regularly
+// seeds fewer tasks than workers and splits deeper in the trie). For
+// rounds whose task set is fully seeded up front, DrainStatic is
+// cheaper. Drain is a no-op when nothing is outstanding, and reusable:
+// seed and drain any number of rounds on the same scheduler.
+func (s *Scheduler[T]) Drain() { s.drain(len(s.deques)) }
+
+// DrainStatic is Drain for rounds whose tasks are all Spawned before the
+// call and whose bodies never Spawn: it starts only min(workers,
+// outstanding) goroutines, skipping the spawn and park/broadcast churn
+// of goroutines that could never find work. Started goroutines use
+// worker ids 0..n−1, so worker-indexed client state still applies;
+// tasks seeded onto higher deques are reached by stealing. With
+// dynamically-spawning bodies it would serialize the surplus fan-out —
+// use Drain there.
+func (s *Scheduler[T]) DrainStatic() {
+	n := len(s.deques)
+	if o := s.outstanding.Load(); o < int64(n) {
+		n = int(o)
+	}
+	s.drain(n)
+}
+
+func (s *Scheduler[T]) drain(workers int) {
+	if s.outstanding.Load() == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.run(id)
+		}()
+	}
+	wg.Wait()
+}
+
+// run is the worker loop: drain the local deque LIFO, steal FIFO from
+// others when empty, park when no work is visible, exit when no task is
+// outstanding anywhere.
+func (s *Scheduler[T]) run(id int) {
+	for {
+		t, ok := s.deques[id].pop()
+		if !ok {
+			t, ok = s.steal(id)
+		}
+		if !ok {
+			if s.outstanding.Load() == 0 {
+				s.wakeAll()
+				return
+			}
+			if !s.park(id) {
+				s.wakeAll()
+				return
+			}
+			continue
+		}
+		s.body(id, t)
+		if s.outstanding.Add(-1) == 0 {
+			s.wakeAll()
+		}
+	}
+}
+
+// park blocks until new work may exist. It returns false when the drain is
+// complete. Announcing sleeping before the final re-scan closes the race
+// with Spawn: a spawner that missed the sleeping count pushed before our
+// announcement, so the re-scan (which acquires the same deque locks)
+// observes its task.
+func (s *Scheduler[T]) park(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sleeping.Add(1)
+	defer s.sleeping.Add(-1)
+	if s.hasWork(id) {
+		return true // let the caller re-scan and actually steal it
+	}
+	if s.outstanding.Load() == 0 {
+		return false
+	}
+	s.cond.Wait()
+	return true
+}
+
+// hasWork reports whether any deque — including the caller's own, which
+// another worker may Spawn onto — is non-empty, without consuming
+// anything.
+func (s *Scheduler[T]) hasWork(id int) bool {
+	for i := 0; i < len(s.deques); i++ {
+		if s.deques[(id+i)%len(s.deques)].size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler[T]) wakeAll() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// steal scans the other deques round-robin from the caller's position and
+// takes the first available head task.
+func (s *Scheduler[T]) steal(id int) (T, bool) {
+	for i := 1; i < len(s.deques); i++ {
+		if t, ok := s.deques[(id+i)%len(s.deques)].steal(); ok {
+			return t, ok
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Pool is a per-worker free list. Each worker owns one, so Get and Put
+// need no synchronization; objects that cross workers inside stolen tasks
+// retire into the thief's pool. The zero Pool with New set is ready to
+// use.
+type Pool[T any] struct {
+	// New constructs a fresh object when the free list is empty.
+	New  func() T
+	free []T
+}
+
+// Get returns a pooled object, constructing one with New if none is free.
+func (p *Pool[T]) Get() T {
+	if k := len(p.free); k > 0 {
+		t := p.free[k-1]
+		var zero T
+		p.free[k-1] = zero
+		p.free = p.free[:k-1]
+		return t
+	}
+	return p.New()
+}
+
+// Put retires an object into the free list for reuse.
+func (p *Pool[T]) Put(t T) { p.free = append(p.free, t) }

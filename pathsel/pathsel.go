@@ -36,8 +36,10 @@
 // scheduler that splits at any trie depth, so skewed label distributions
 // scale past |L| workers.
 //
-// Knobs (Config): Workers is the census goroutine count (≤ 0 means
-// GOMAXPROCS; workers are not capped at the label count).
+// Knobs (Config): Workers is the goroutine count of every parallel stage
+// (≤ 0 means GOMAXPROCS) — the census, where workers are not capped at
+// the label count, and ExecuteQuery's join steps, which shard source rows
+// across the same work-stealing substrate (internal/sched).
 // DensityThreshold is the sparse→dense promotion point as a fraction of
 // |V| in (0, 1] (≤ 0 selects the 1/32 default; ≥ 1 keeps every row
 // sparse); it governs both the census and ExecuteQuery's join relations.
@@ -193,10 +195,13 @@ type Config struct {
 	// Buckets is the bucket budget β (≥ 1).
 	Buckets int
 
-	// Workers is the census worker-goroutine count (≤ 0 means
-	// GOMAXPROCS). The census is computed by a work-stealing scheduler
-	// that splits label-trie subtrees at any depth, so worker counts above
-	// the label count still help on skewed label distributions.
+	// Workers is the worker-goroutine count of every parallel stage (≤ 0
+	// means GOMAXPROCS): the census — a work-stealing scheduler that
+	// splits label-trie subtrees at any depth, so worker counts above the
+	// label count still help on skewed label distributions — and
+	// ExecuteQuery's join steps, which shard each intermediate relation's
+	// source rows across the same scheduling substrate. Results are
+	// bit-identical at every setting.
 	Workers int
 	// DensityThreshold tunes the census's hybrid relation rows: a row
 	// (the target set of one source vertex) is kept as a sorted sparse id

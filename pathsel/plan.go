@@ -83,7 +83,9 @@ func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
 }
 
 // ExecuteQuery plans q with the histogram and carries the chosen plan out
-// on the hybrid execution engine, honoring Config.DensityThreshold. The
+// on the hybrid execution engine, honoring Config.DensityThreshold and
+// Config.Workers (join steps shard their source rows across that many
+// work-stealing workers; results are bit-identical at every setting). The
 // returned stats hold the exact result count and the actual intermediate
 // sizes, so estimate-driven plan quality is measurable against the ground
 // truth. Unlike the histogram methods this touches the graph itself, with
@@ -95,7 +97,7 @@ func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
 	}
 	plan := e.planParsed(p)
 	_, st := exec.ExecutePlan(e.gr.csr(), p, exec.Plan{Start: plan.Start},
-		exec.Options{DensityThreshold: e.cfg.DensityThreshold})
+		exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: e.cfg.Workers})
 	return ExecStats{
 		Plan:          plan,
 		Intermediates: st.Intermediates,
