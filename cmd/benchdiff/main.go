@@ -1,0 +1,163 @@
+// Command benchdiff is the CI perf-regression gate: it compares a freshly
+// measured BENCH JSON report (schema in docs/benchmarks.md) against the
+// committed baseline artifact and fails when any case's speedup ratio has
+// regressed by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_exec.json -new bench-exec-report.json [-threshold 0.25]
+//
+// It compares speedup_vs_baseline ratios, not raw wall-clock numbers:
+// each ratio divides two timings measured on the same host in the same
+// run, so representation speedups (hybrid vs dense, kernel vs kernel)
+// carry across hosts. Worker-scaling ratios do not — they divide timings
+// at different worker counts, which depends on the measuring host's
+// cores — so when the two reports' schema-v2 num_cpu headers differ,
+// every case measured at workers > 1 is skipped as wall-clock-sensitive.
+// Cases whose measured operation is shorter than -min-ns on either side
+// (default 1ms) are skipped as below the noise floor: the micro-kernel
+// rows (compose/*, join/*) time microsecond-scale operations whose
+// ratios legitimately swing ±30% between runs at low iteration counts,
+// so they are informational, while every engine-level row is gated.
+// A baseline case that has no matching case in the new report (same
+// name, dataset, k, and workers) fails the gate: silently dropping a
+// measured case is itself a regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// caseKey identifies one comparable measurement across reports.
+type caseKey struct {
+	Name    string
+	Dataset string
+	K       int
+	Workers int
+}
+
+func (k caseKey) String() string {
+	s := k.Name + " on " + k.Dataset
+	if k.K > 0 {
+		s += fmt.Sprintf(" k=%d", k.K)
+	}
+	if k.Workers > 0 {
+		s += fmt.Sprintf(" workers=%d", k.Workers)
+	}
+	return s
+}
+
+// Diff compares every baseline case carrying a speedup ratio against the
+// new report and returns the verdict lists: checked cases that passed,
+// cases skipped as uncomparable (wall-clock-sensitive — workers > 1
+// while the reports' num_cpu headers differ — or timed below the minNs
+// noise floor on either side), and failures (regressed beyond the
+// threshold, or missing from the new report). threshold is the tolerated
+// fractional loss: 0.25 fails when a new ratio drops below 75% of the
+// baseline.
+func Diff(base, fresh *experiments.PerfReport, threshold float64, minNs int64) (passed, skipped, failures []string) {
+	freshByKey := map[caseKey]experiments.PerfResult{}
+	for _, r := range fresh.Results {
+		freshByKey[caseKey{r.Name, r.Dataset, r.K, r.Workers}] = r
+	}
+	hostsDiffer := base.NumCPU != fresh.NumCPU
+	for _, b := range base.Results {
+		if b.Speedup <= 0 {
+			continue // no ratio to compare (a baseline-only timing row)
+		}
+		key := caseKey{b.Name, b.Dataset, b.K, b.Workers}
+		if hostsDiffer && b.Workers > 1 {
+			skipped = append(skipped, fmt.Sprintf("%s: worker-scaling ratio on a different host (num_cpu %d vs %d)",
+				key, base.NumCPU, fresh.NumCPU))
+			continue
+		}
+		if b.NsPerOp < minNs {
+			skipped = append(skipped, fmt.Sprintf("%s: baseline op %dns below the %dns noise floor", key, b.NsPerOp, minNs))
+			continue
+		}
+		n, ok := freshByKey[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: case missing from new report", key))
+			continue
+		}
+		if n.NsPerOp < minNs {
+			skipped = append(skipped, fmt.Sprintf("%s: new op %dns below the %dns noise floor", key, n.NsPerOp, minNs))
+			continue
+		}
+		if n.Speedup <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: new report lost the speedup ratio", key))
+			continue
+		}
+		floor := b.Speedup * (1 - threshold)
+		if n.Speedup < floor {
+			failures = append(failures, fmt.Sprintf("%s: speedup %.3f below %.3f (baseline %.3f − %d%%)",
+				key, n.Speedup, floor, b.Speedup, int(threshold*100)))
+			continue
+		}
+		passed = append(passed, fmt.Sprintf("%s: speedup %.3f vs baseline %.3f", key, n.Speedup, b.Speedup))
+	}
+	return passed, skipped, failures
+}
+
+// load reads one BENCH JSON report and enforces the schema floor: the
+// comparison needs the v2 num_cpu header to decide what is comparable.
+func load(path string) (*experiments.PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.SchemaVersion < 2 {
+		return nil, fmt.Errorf("%s: schema version %d lacks the num_cpu header (need ≥ 2)", path, rep.SchemaVersion)
+	}
+	return &rep, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline BENCH_*.json artifact")
+	newPath := flag.String("new", "", "freshly measured report to gate")
+	threshold := flag.Float64("threshold", 0.25, "tolerated fractional speedup loss before failing")
+	minNs := flag.Int64("min-ns", 1_000_000, "noise floor: skip cases whose measured op is shorter than this on either side")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
+		os.Exit(2)
+	}
+	if *threshold < 0 || *threshold >= 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be in [0, 1)")
+		os.Exit(2)
+	}
+	base, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	passed, skipped, failures := Diff(base, fresh, *threshold, *minNs)
+	fmt.Printf("benchdiff %s vs %s: %d passed, %d skipped, %d failed\n",
+		*newPath, *oldPath, len(passed), len(skipped), len(failures))
+	for _, s := range passed {
+		fmt.Println("  pass:", s)
+	}
+	for _, s := range skipped {
+		fmt.Println("  skip:", s)
+	}
+	for _, s := range failures {
+		fmt.Println("  FAIL:", s)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

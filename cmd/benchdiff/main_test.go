@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func report(numCPU int, results ...experiments.PerfResult) *experiments.PerfReport {
+	return &experiments.PerfReport{
+		SchemaVersion: experiments.BenchSchemaVersion,
+		NumCPU:        numCPU,
+		Results:       results,
+	}
+}
+
+func row(name string, workers int, speedup float64) experiments.PerfResult {
+	return experiments.PerfResult{Name: name, Dataset: "SNAP-FF", Workers: workers,
+		Iters: 1, NsPerOp: 1000, Speedup: speedup}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := report(1, row("exec/hybrid-forward", 1, 5.0))
+	fresh := report(1, row("exec/hybrid-forward", 1, 4.0))
+	passed, skipped, failures := Diff(base, fresh, 0.25, 0)
+	if len(failures) != 0 || len(skipped) != 0 || len(passed) != 1 {
+		t.Fatalf("passed=%v skipped=%v failures=%v", passed, skipped, failures)
+	}
+}
+
+func TestDiffFailsBeyondThreshold(t *testing.T) {
+	base := report(1, row("exec/hybrid-forward", 1, 5.0))
+	fresh := report(1, row("exec/hybrid-forward", 1, 3.7)) // floor is 3.75
+	_, _, failures := Diff(base, fresh, 0.25, 0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "below") {
+		t.Fatalf("failures = %v, want one threshold failure", failures)
+	}
+}
+
+func TestDiffFailsOnMissingCase(t *testing.T) {
+	base := report(1, row("exec/hybrid-forward", 1, 5.0))
+	fresh := report(1, row("exec/hybrid-backward", 1, 5.0))
+	_, _, failures := Diff(base, fresh, 0.25, 0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-case failure", failures)
+	}
+}
+
+func TestDiffSkipsScalingRowsAcrossHosts(t *testing.T) {
+	// Worker-scaling ratios (workers > 1) are wall-clock-sensitive: on a
+	// 1-core baseline host they hover near 1.0, on a multi-core CI host
+	// they can be anything. They must be skipped — even when missing —
+	// exactly when num_cpu differs.
+	base := report(1,
+		row("parexec/forward", 1, 0), // no ratio: never compared
+		row("parexec/forward", 2, 1.02),
+		row("parexec/forward", 4, 0.97),
+		row("exec/hybrid-forward", 1, 5.0))
+	fresh := report(8,
+		row("parexec/forward", 2, 3.5),
+		row("exec/hybrid-forward", 1, 5.1))
+	passed, skipped, failures := Diff(base, fresh, 0.25, 0)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want the two workers>1 rows", skipped)
+	}
+	if len(passed) != 1 || !strings.Contains(passed[0], "exec/hybrid-forward") {
+		t.Fatalf("passed = %v, want the representation ratio checked", passed)
+	}
+	// Same hosts: the scaling rows are compared again (and one is missing).
+	fresh.NumCPU = 1
+	_, skipped, failures = Diff(base, fresh, 0.25, 0)
+	if len(skipped) != 0 {
+		t.Fatalf("same-host skipped = %v, want none", skipped)
+	}
+	// workers=4 row is missing, workers=2 row improved: exactly one failure.
+	if len(failures) != 1 || !strings.Contains(failures[0], "workers=4") {
+		t.Fatalf("same-host failures = %v, want the missing workers=4 row", failures)
+	}
+}
+
+func TestDiffKeysOnKAndDataset(t *testing.T) {
+	a := experiments.PerfResult{Name: "census/hybrid", Dataset: "SNAP-ER", K: 3, Workers: 1, Speedup: 1.2, NsPerOp: 1, Iters: 1}
+	b := experiments.PerfResult{Name: "census/hybrid", Dataset: "SNAP-FF", K: 3, Workers: 1, Speedup: 5.0, NsPerOp: 1, Iters: 1}
+	base := report(1, a, b)
+	fresh := report(1, b, a) // order must not matter; keys must not collide
+	_, _, failures := Diff(base, fresh, 0.25, 0)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestDiffZeroThresholdExactBar(t *testing.T) {
+	base := report(1, row("join/adaptive", 0, 1.1))
+	fresh := report(1, row("join/adaptive", 0, 1.1))
+	_, _, failures := Diff(base, fresh, 0, 0)
+	if len(failures) != 0 {
+		t.Fatalf("equal ratios must pass at threshold 0: %v", failures)
+	}
+}
+
+func TestDiffNoiseFloorSkipsMicroKernels(t *testing.T) {
+	// Micro-kernel rows time µs-scale ops whose ratios swing between runs;
+	// below the noise floor they are reported as skipped, not gated —
+	// even when the fresh side alone dips under the floor.
+	slow := row("exec/hybrid-forward", 1, 5.0)
+	slow.NsPerOp = 2_000_000
+	fast := row("join/adaptive", 0, 1.1)
+	base := report(1, slow, fast)
+	crashed := fast
+	crashed.Speedup = 0.1 // would fail hard if it were gated
+	freshSlow := slow
+	fresh := report(1, freshSlow, crashed)
+	passed, skipped, failures := Diff(base, fresh, 0.25, 1_000_000)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "noise floor") {
+		t.Fatalf("skipped = %v, want the micro-kernel row", skipped)
+	}
+	if len(passed) != 1 {
+		t.Fatalf("passed = %v, want the engine-level row", passed)
+	}
+}

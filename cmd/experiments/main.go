@@ -12,10 +12,10 @@
 // With -csv, each experiment additionally writes a machine-readable CSV
 // file (table4.csv, figure2.csv, …) into DIR for plotting.
 //
-// The -bench-json, -bench-exec-json, and -bench-par-exec-json flags
-// instead emit the committed BENCH_*.json perf artifacts (schema in
-// docs/benchmarks.md) and exit; -workers N overrides the worker count of
-// every bench emitter (default GOMAXPROCS).
+// The -bench-json, -bench-exec-json, -bench-par-exec-json, and
+// -bench-bushy-json flags instead emit the committed BENCH_*.json perf
+// artifacts (schema in docs/benchmarks.md) and exit; -workers N overrides
+// the worker count of every bench emitter (default GOMAXPROCS).
 package main
 
 import (
@@ -39,6 +39,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the full census/compose/exec perf bench and write a BENCH JSON report to this file, then exit")
 	benchExecJSON := flag.String("bench-exec-json", "", "run only the query-execution perf bench and write a BENCH JSON report to this file, then exit")
 	benchParExecJSON := flag.String("bench-par-exec-json", "", "run only the parallel-executor scaling bench and write a BENCH JSON report to this file, then exit")
+	benchBushyJSON := flag.String("bench-bushy-json", "", "run only the bushy-plan/join-kernel perf bench and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		{*benchJSON, func() *experiments.PerfReport { return experiments.RunPerfBench(*scale, *benchIters, *workers) }},
 		{*benchExecJSON, func() *experiments.PerfReport { return experiments.RunExecBench(*scale, *benchIters, *workers) }},
 		{*benchParExecJSON, func() *experiments.PerfReport { return experiments.RunParExecBench(*scale, *benchIters, *workers) }},
+		{*benchBushyJSON, func() *experiments.PerfReport { return experiments.RunBushyBench(*scale, *benchIters, *workers) }},
 	} {
 		if b.path == "" {
 			continue
@@ -69,7 +71,7 @@ func main() {
 		}
 		fmt.Printf("wrote perf bench report to %s\n", b.path)
 	}
-	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" {
+	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" || *benchBushyJSON != "" {
 		return
 	}
 
@@ -205,14 +207,19 @@ func run(exp string, opt experiments.Options, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "Plan quality: zig-zag join planning from histogram estimates, k plans per query (Moreno, k=3)")
-			header := []string{"method", "beta", "oracle agreement", "work ratio"}
+			fmt.Fprintln(out, "Plan quality: join planning from histogram estimates — k zig-zag plans and the bushy tree space per length-4 query, statistics bounded at k=3 (Moreno)")
+			header := []string{"method", "beta", "zigzag agree", "zigzag work", "tree agree", "tree work"}
 			var rows [][]string
 			for _, c := range cells {
 				rows = append(rows, []string{c.Method, fmt.Sprintf("%d", c.Beta),
-					fmt.Sprintf("%.3f", c.Agreement), fmt.Sprintf("%.3f", c.WorkRatio)})
+					fmt.Sprintf("%.3f", c.Agreement), fmt.Sprintf("%.3f", c.WorkRatio),
+					fmt.Sprintf("%.3f", c.TreeAgreement), fmt.Sprintf("%.3f", c.TreeWorkRatio)})
 			}
 			experiments.RenderTable(out, header, rows)
+			if len(cells) > 0 {
+				fmt.Fprintf(out, "\nbushy oracle wins (best tree strictly beats best zig-zag): %.3f of queries\n",
+					cells[0].OracleBushyWins)
+			}
 			return writeCSV(csvDir, "plans.csv", func(f *os.File) error {
 				return experiments.WritePlanCSV(f, cells)
 			})

@@ -104,4 +104,53 @@ func main() {
 	fmt.Printf("\nchosen plans matched the oracle's cost on %d/%d queries\n", agree, len(queries))
 	fmt.Println(strings.Repeat("-", 40))
 	fmt.Println("histogram footprint:", est.Buckets(), "buckets vs", est.DomainSize(), "exact counters")
+
+	// Bushy plan search: the same histogram, but the planner may now
+	// split a query into two independently built segments and join them
+	// relation×relation — a plan shape no zig-zag start can express. The
+	// planner falls back to the best zig-zag plan whenever linear growth
+	// is estimated cheaper, so every divergence below is a case where
+	// interior-segment estimates changed the winner.
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("bushy plan search (Config.BushyPlans, length-4 queries):")
+	bushy, err := pathsel.Build(g, pathsel.Config{
+		MaxPathLength: 4,
+		Ordering:      pathsel.OrderingSumBased,
+		Buckets:       24,
+		BushyPlans:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	linear, err := pathsel.Build(g, pathsel.Config{
+		MaxPathLength: 4,
+		Ordering:      pathsel.OrderingSumBased,
+		Buckets:       24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []string{"1/2/3/1", "2/3/3/1", "4/1/5/1", "2/2/4/4"} {
+		bp, err := bushy.PlanQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bst, err := bushy.ExecuteQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lst, err := linear.ExecuteQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shape := "linear"
+		if bp.Tree != nil && !bp.Tree.IsLeaf() {
+			shape = "bushy"
+		}
+		fmt.Printf("  query %s → %s plan %s (work %d vs linear %d, result %d)\n",
+			q, shape, bp.Description, bst.Work, lst.Work, bst.Result)
+		if bst.Result != lst.Result {
+			log.Fatalf("plan shape changed the result: %d vs %d", bst.Result, lst.Result)
+		}
+	}
 }

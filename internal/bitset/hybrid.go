@@ -212,6 +212,13 @@ type ComposeScratch struct {
 	words      []uint64
 	touched    []int32
 	wMin, wMax int32 // touched word index range of the current scatter
+
+	// Relation×relation join state (join.go), lazily allocated on first
+	// use: a full-width accumulator for output rows with dense right-side
+	// inputs (where touched-word tracking would be incomplete), and the
+	// expansion buffer for dense left rows.
+	joinWords []uint64
+	tbuf      []int32
 }
 
 // NewComposeScratch returns a scratch accumulator for an n-vertex universe.

@@ -1,0 +1,198 @@
+package bitset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// referenceJoin computes A ∘ B pair by pair on the dense reference
+// representation — the oracle every hybrid join kernel is pinned against.
+func referenceJoin(a, b *Relation) *Relation {
+	out := NewRelation(a.Universe())
+	a.ForEachRow(func(s int, targets *Set) bool {
+		targets.ForEach(func(t int) bool {
+			if row := b.Row(t); row != nil {
+				row.ForEach(func(u int) bool {
+					out.Add(s, u)
+					return true
+				})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// TestJoinMatchesReference pins JoinInto against the pairwise reference
+// across universe sizes and every density-threshold combination of the
+// three relations involved, so sparse×sparse, sparse×dense, dense×sparse,
+// and dense×dense row pairings all occur, as do both output-row forms.
+func TestJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	densities := []float64{0, 1e-9, 0.1, 1.0}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(140)
+		da := densities[trial%4]
+		db := densities[(trial/4)%4]
+		dd := densities[(trial/16)%4]
+		ha, ra := randomHybridAndDense(rng, n, rng.Intn(5*n), da)
+		hb, rb := randomHybridAndDense(rng, n, rng.Intn(5*n), db)
+		want := referenceJoin(ra, rb)
+		dst := NewHybrid(n, dd)
+		pairs := ha.JoinInto(dst, hb, NewComposeScratch(n))
+		ctx := fmt.Sprintf("trial %d n %d densities %v/%v/%v", trial, n, da, db, dd)
+		if pairs != want.Pairs() {
+			t.Fatalf("%s: join pairs %d, reference %d", ctx, pairs, want.Pairs())
+		}
+		if !dst.EqualRelation(want) {
+			t.Fatalf("%s: join content differs from reference", ctx)
+		}
+		// The allocating convenience form must agree.
+		if got := ha.Join(hb, dd); !got.EqualRelation(want) {
+			t.Fatalf("%s: Join convenience form differs from reference", ctx)
+		}
+	}
+}
+
+// TestJoinSelf pins the self-join (h ∘ h), the aliasing case JoinInto
+// explicitly permits.
+func TestJoinSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		h, r := randomHybridAndDense(rng, n, rng.Intn(4*n), []float64{0, 1.0}[trial%2])
+		want := referenceJoin(r, r)
+		dst := NewHybrid(n, 0)
+		h.JoinInto(dst, h, NewComposeScratch(n))
+		if !dst.EqualRelation(want) {
+			t.Fatalf("trial %d: self-join differs from reference", trial)
+		}
+	}
+}
+
+// TestJoinIntoReuse pins the pooling contract: a destination reused across
+// joins of different relations holds exactly the latest result.
+func TestJoinIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 90
+	dst := NewHybrid(n, 0)
+	scr := NewComposeScratch(n)
+	for round := 0; round < 10; round++ {
+		ha, ra := randomHybridAndDense(rng, n, rng.Intn(4*n), 0.1)
+		hb, rb := randomHybridAndDense(rng, n, rng.Intn(4*n), 1.0)
+		ha.JoinInto(dst, hb, scr)
+		if want := referenceJoin(ra, rb); !dst.EqualRelation(want) {
+			t.Fatalf("round %d: reused destination differs from reference", round)
+		}
+	}
+}
+
+// TestJoinShardMatchesSequential pins the partitioned form: any shard
+// decomposition of the active range, adopted in ascending shard order,
+// must reproduce sequential JoinInto exactly — content, pair count, and
+// active-source order.
+func TestJoinShardMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(150)
+		ha, _ := randomHybridAndDense(rng, n, n+rng.Intn(5*n), 0)
+		hb, _ := randomHybridAndDense(rng, n, n+rng.Intn(5*n), []float64{0, 1e-9, 1.0}[trial%3])
+		seq := NewHybrid(n, 0)
+		ha.JoinInto(seq, hb, NewComposeScratch(n))
+
+		shards := 1 + rng.Intn(7)
+		dst := NewHybrid(n, 0)
+		dst.Reset()
+		nact := ha.Sources()
+		srcs := make([][]int32, shards)
+		pairs := make([]int64, shards)
+		for i := 0; i < shards; i++ {
+			lo, hi := i*nact/shards, (i+1)*nact/shards
+			srcs[i], pairs[i] = ha.JoinShardInto(dst, hb, NewComposeScratch(n), lo, hi, nil)
+		}
+		for i := 0; i < shards; i++ {
+			dst.AdoptShard(srcs[i], pairs[i])
+		}
+		if dst.Pairs() != seq.Pairs() || !dst.Equal(seq) {
+			t.Fatalf("trial %d shards %d: sharded join differs from sequential", trial, shards)
+		}
+		// Active order must match too: walk both pair streams in lockstep.
+		type pr struct{ s, t int }
+		var a, b []pr
+		seq.ForEachPair(func(s, t int) bool { a = append(a, pr{s, t}); return true })
+		dst.ForEachPair(func(s, t int) bool { b = append(b, pr{s, t}); return true })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d shards %d: pair stream diverges at %d", trial, shards, i)
+			}
+		}
+	}
+}
+
+// TestJoinPanics pins the precondition checks.
+func TestJoinPanics(t *testing.T) {
+	h := NewHybrid(8, 0)
+	r := NewHybrid(8, 0)
+	bad := NewHybrid(9, 0)
+	scr := NewComposeScratch(8)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("dst==h", func() { h.JoinInto(h, r, scr) })
+	expectPanic("dst==r", func() { h.JoinInto(r, r, scr) })
+	expectPanic("universe mismatch", func() { h.JoinInto(NewHybrid(8, 0), bad, scr) })
+	expectPanic("dst universe mismatch", func() { h.JoinInto(bad, r, scr) })
+	expectPanic("shard range", func() { h.JoinShardInto(NewHybrid(8, 0), r, scr, 0, 5, nil) })
+}
+
+// FuzzJoinEquivalence fuzzes both operands' shapes, all three density
+// thresholds, and the shard decomposition, asserting hybrid join ≡ dense
+// reference and sharded ≡ sequential on every input.
+func FuzzJoinEquivalence(f *testing.F) {
+	f.Add(int64(1), 40, 120, 90, float64(0), float64(1), float64(0), uint8(3))
+	f.Add(int64(2), 8, 20, 300, float64(1e-9), float64(0), float64(1), uint8(1))
+	f.Add(int64(3), 100, 0, 50, float64(0.1), float64(0.1), float64(1e-9), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, n, pairsA, pairsB int, da, db, dd float64, shards uint8) {
+		if n < 1 || n > 200 || pairsA < 0 || pairsA > 1000 || pairsB < 0 || pairsB > 1000 ||
+			da < 0 || da > 1 || db < 0 || db > 1 || dd < 0 || dd > 1 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ha, ra := randomHybridAndDense(rng, n, pairsA, da)
+		hb, rb := randomHybridAndDense(rng, n, pairsB, db)
+		want := referenceJoin(ra, rb)
+		dst := NewHybrid(n, dd)
+		ha.JoinInto(dst, hb, NewComposeScratch(n))
+		if !dst.EqualRelation(want) {
+			t.Fatalf("join differs from dense reference (n=%d)", n)
+		}
+		ns := int(shards%8) + 1
+		sharded := NewHybrid(n, dd)
+		sharded.Reset()
+		nact := ha.Sources()
+		scr := NewComposeScratch(n)
+		type res struct {
+			srcs  []int32
+			pairs int64
+		}
+		results := make([]res, ns)
+		for i := 0; i < ns; i++ {
+			results[i].srcs, results[i].pairs = ha.JoinShardInto(
+				sharded, hb, scr, i*nact/ns, (i+1)*nact/ns, nil)
+		}
+		for _, r := range results {
+			sharded.AdoptShard(r.srcs, r.pairs)
+		}
+		if !sharded.Equal(dst) || sharded.Pairs() != dst.Pairs() {
+			t.Fatalf("sharded join differs from sequential (n=%d shards=%d)", n, ns)
+		}
+	})
+}

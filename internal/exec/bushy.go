@@ -1,0 +1,274 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/sched"
+)
+
+// MaxTreeLength bounds the bushy planner's dynamic program. The DP
+// enumerates all O(k²) segments of a length-k query and all O(k) splits
+// and zig-zag starts per segment — O(k³) estimator calls overall — which
+// is trivial at the census-bounded path lengths (k ≤ 6 in the paper) but
+// deserves a hard edge: beyond this bound ChooseTree and CostTree fall
+// back to the linear zig-zag space, which is O(k²).
+const MaxTreeLength = 16
+
+// PlanTree is a join plan for a path query segment p[Lo:Hi): either a
+// leaf — the segment is built linearly with the zig-zag plan starting at
+// label position Start — or a bushy join node, whose two children build
+// p[Lo:Mid) and p[Mid:Hi) independently and whose own step joins the two
+// finished relations with the relation×relation kernel
+// (bitset.JoinInto). Leaves generalize the whole zig-zag space: a leaf
+// spanning the full query is exactly a Plan. Join nodes are what zig-zag
+// cannot express — both join inputs are materialized interior segments,
+// so interior-segment selectivity estimates decide the plan's cost.
+type PlanTree struct {
+	// Lo, Hi delimit the query segment [Lo, Hi) this subtree builds.
+	Lo, Hi int
+	// Start is the absolute label position a leaf's zig-zag grows from,
+	// in [Lo, Hi). Join nodes carry −1.
+	Start int
+	// Left and Right are the two children of a join node (both nil for a
+	// leaf, both non-nil otherwise); Left builds [Lo, Left.Hi) and Right
+	// builds [Left.Hi, Hi).
+	Left, Right *PlanTree
+}
+
+// IsLeaf reports whether the node builds its segment linearly.
+func (t *PlanTree) IsLeaf() bool { return t.Left == nil }
+
+// Leaves returns the number of leaf segments; 1 means the tree is a plain
+// zig-zag plan.
+func (t *PlanTree) Leaves() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.Left.Leaves() + t.Right.Leaves()
+}
+
+// Describe renders the tree for a length-k query. A leaf spanning the
+// whole query renders as its zig-zag plan name ("forward", "backward",
+// "zigzag@i"); interior leaves render as "[lo,hi)@start" and join nodes
+// as "(left ⋈ right)".
+func (t *PlanTree) Describe(k int) string {
+	if t.IsLeaf() {
+		if t.Lo == 0 && t.Hi == k {
+			return Plan{Start: t.Start}.Describe(k)
+		}
+		return fmt.Sprintf("[%d,%d)@%d", t.Lo, t.Hi, t.Start)
+	}
+	return "(" + t.Left.Describe(k) + " ⋈ " + t.Right.Describe(k) + ")"
+}
+
+// validate panics unless the tree is a well-formed plan for segment
+// [lo, hi): spans nest exactly, leaf starts are in range, and join nodes
+// have both children.
+func (t *PlanTree) validate(lo, hi int) {
+	if t == nil {
+		panic("exec: nil plan tree node")
+	}
+	if t.Lo != lo || t.Hi != hi {
+		panic(fmt.Sprintf("exec: plan tree node spans [%d,%d), expected [%d,%d)", t.Lo, t.Hi, lo, hi))
+	}
+	if t.IsLeaf() {
+		if t.Right != nil {
+			panic("exec: plan tree node with exactly one child")
+		}
+		if t.Start < lo || t.Start >= hi {
+			panic(fmt.Sprintf("exec: leaf start %d out of segment [%d,%d)", t.Start, lo, hi))
+		}
+		return
+	}
+	if t.Right == nil {
+		panic("exec: plan tree node with exactly one child")
+	}
+	m := t.Left.Hi
+	if m <= lo || m >= hi {
+		panic(fmt.Sprintf("exec: plan tree split %d out of segment (%d,%d)", m, lo, hi))
+	}
+	t.Left.validate(lo, m)
+	t.Right.validate(m, hi)
+}
+
+// treeCell is one DP-table entry: the best estimated cost of building
+// segment [i, j), and how — split < 0 means a linear leaf with the given
+// absolute zig-zag start; otherwise a bushy join at the split position.
+type treeCell struct {
+	cost  float64
+	split int
+	start int
+}
+
+// treeDP fills the segment table for p: dp[i][j] is the best plan for
+// p[i:j). Cost model: a leaf's cost is its zig-zag PlanCost (the sum of
+// estimated intermediate-segment selectivities); a join node adds both
+// children's costs plus both children's full-segment estimates, because a
+// bushy join materializes and consumes both inputs (whereas a zig-zag
+// step's right-hand side is a free CSR operand — which is why linear
+// growth wins whenever one side is a single label). Ties break
+// deterministically: the leaf beats any equal-cost join (falling back to
+// zig-zag when linear wins), and among equal splits or starts the lowest
+// index wins.
+func (pl Planner) treeDP(p paths.Path) [][]treeCell {
+	k := len(p)
+	dp := make([][]treeCell, k)
+	for i := range dp {
+		dp[i] = make([]treeCell, k+1)
+		dp[i][i+1] = treeCell{cost: 0, split: -1, start: i}
+	}
+	for length := 2; length <= k; length++ {
+		for i := 0; i+length <= k; i++ {
+			j := i + length
+			seg := p[i:j]
+			costs := pl.Costs(seg)
+			leaf := CheapestPlan(costs)
+			best := treeCell{cost: costs[leaf.Start], split: -1, start: i + leaf.Start}
+			for m := i + 1; m < j; m++ {
+				c := dp[i][m].cost + dp[m][j].cost +
+					pl.Est.Estimate(p[i:m]) + pl.Est.Estimate(p[m:j])
+				if c < best.cost {
+					best = treeCell{cost: c, split: m, start: -1}
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	return dp
+}
+
+// buildTree materializes the DP table's winning plan for segment [i, j).
+func buildTree(dp [][]treeCell, i, j int) *PlanTree {
+	c := dp[i][j]
+	if c.split < 0 {
+		return &PlanTree{Lo: i, Hi: j, Start: c.start}
+	}
+	return &PlanTree{
+		Lo: i, Hi: j, Start: -1,
+		Left:  buildTree(dp, i, c.split),
+		Right: buildTree(dp, c.split, j),
+	}
+}
+
+// CostTree returns the estimated intermediate volume of the best plan
+// tree for p — the bushy analogue of PlanCost∘ChoosePlan. With an exact
+// estimator it equals ExecuteTree's Stats.Work for the chosen tree.
+// Beyond MaxTreeLength it falls back to the best zig-zag plan's cost. It
+// panics on an empty path.
+func (pl Planner) CostTree(p paths.Path) float64 {
+	_, cost := pl.ChooseTreeWithCost(p)
+	return cost
+}
+
+// ChooseTree returns the cheapest plan tree for p, searching the bushy
+// space (every way to split the query into independently built segments
+// joined pairwise) on top of the linear zig-zag space. When no bushy
+// decomposition is estimated to beat the best zig-zag plan the result is
+// a single leaf — the planner falls back to linear execution, and
+// ExecuteTree delegates to ExecutePlan. Beyond MaxTreeLength the bushy
+// space is not enumerated at all. It panics on an empty path.
+func (pl Planner) ChooseTree(p paths.Path) *PlanTree {
+	tree, _ := pl.ChooseTreeWithCost(p)
+	return tree
+}
+
+// ChooseTreeWithCost is ChooseTree plus the winning tree's estimated
+// cost, from a single dynamic program — callers that need both (the
+// pathsel planner does, per query) avoid filling the O(k²) table twice.
+func (pl Planner) ChooseTreeWithCost(p paths.Path) (*PlanTree, float64) {
+	k := len(p)
+	if k == 0 {
+		panic("exec: plan for empty path query")
+	}
+	if k > MaxTreeLength {
+		start := pl.ChoosePlan(p).Start
+		return &PlanTree{Lo: 0, Hi: k, Start: start}, pl.PlanCost(p, start)
+	}
+	dp := pl.treeDP(p)
+	return buildTree(dp, 0, k), dp[0][k].cost
+}
+
+// treeExec carries one ExecuteTree call's invariants through the
+// recursion.
+type treeExec struct {
+	g   *graph.CSR
+	p   paths.Path
+	opt Options
+}
+
+// run executes the subtree with the given worker budget and returns the
+// segment's relation plus the intermediate sizes it materialized along
+// the way (in deterministic post-order: left subtree's, right subtree's,
+// then — for join nodes — the two join inputs themselves).
+func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int64) {
+	if t.IsLeaf() {
+		rel, st := ExecutePlan(tx.g, tx.p[t.Lo:t.Hi], Plan{Start: t.Start - t.Lo},
+			Options{DensityThreshold: tx.opt.DensityThreshold, Workers: workers})
+		return rel, st.Intermediates
+	}
+	// The two segments are independent: split the worker budget and build
+	// them concurrently. Each child drives its own scheduler, so the two
+	// builds share nothing but the read-only graph; their outputs — and
+	// therefore the join below — are unaffected by timing.
+	var (
+		lrel, rrel *bitset.HybridRelation
+		li, ri     []int64
+	)
+	if workers > 1 {
+		lw := (workers + 1) / 2
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lrel, li = tx.run(t.Left, lw)
+		}()
+		rrel, ri = tx.run(t.Right, workers-lw)
+		wg.Wait()
+	} else {
+		lrel, li = tx.run(t.Left, 1)
+		rrel, ri = tx.run(t.Right, 1)
+	}
+	ints := append(li, ri...)
+	ints = append(ints, lrel.Pairs(), rrel.Pairs())
+	dst := bitset.NewHybrid(tx.g.NumVertices(), tx.opt.DensityThreshold)
+	stp := newStepper(tx.g.NumVertices(), workers)
+	stp.join(lrel, dst, rrel)
+	return dst, ints
+}
+
+// ExecuteTree evaluates p over g with the given plan tree: leaves run as
+// zig-zag plans on the hybrid substrate, and every join node builds its
+// two segments independently — in parallel when the worker budget allows,
+// each child on its own scheduler — then joins them with the sharded
+// relation×relation kernel. The merge discipline of every sharded step is
+// deterministic, so the result is bit-identical to sequential execution
+// (and to ExecutePlan and ExecuteDense) at every worker count.
+//
+// Stats.Work counts every relation fed into a join step: for leaves the
+// usual zig-zag intermediates, and for join nodes both finished segment
+// relations — matching CostTree's model, so an exact estimator makes
+// CostTree equal the executed Work. A single-leaf tree delegates to
+// ExecutePlan. It panics on an empty path or a malformed tree.
+func ExecuteTree(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options) (*bitset.HybridRelation, Stats) {
+	k := len(p)
+	if k == 0 {
+		panic("exec: empty path query")
+	}
+	tree.validate(0, k)
+	if tree.IsLeaf() {
+		rel, st := ExecutePlan(g, p, Plan{Start: tree.Start}, opt)
+		st.Tree = tree
+		return rel, st
+	}
+	tx := &treeExec{g: g, p: p, opt: opt}
+	rel, ints := tx.run(tree, sched.WorkerCount(opt.Workers))
+	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints, Result: rel.Pairs()}
+	for _, v := range ints {
+		st.Work += v
+	}
+	return rel, st
+}

@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paths"
+)
+
+// allTrees enumerates every plan tree over segment [lo, hi): all zig-zag
+// leaves and all bushy splits, recursively — the full plan space the
+// equivalence property quantifies over.
+func allTrees(lo, hi int) []*PlanTree {
+	var out []*PlanTree
+	for s := lo; s < hi; s++ {
+		out = append(out, &PlanTree{Lo: lo, Hi: hi, Start: s})
+	}
+	for m := lo + 1; m < hi; m++ {
+		for _, l := range allTrees(lo, m) {
+			for _, r := range allTrees(m, hi) {
+				out = append(out, &PlanTree{Lo: lo, Hi: hi, Start: -1, Left: l, Right: r})
+			}
+		}
+	}
+	return out
+}
+
+// randomTree draws one plan tree over [lo, hi) — shared by the fuzz
+// harness, which cannot afford the full enumeration per input.
+func randomTree(rng *rand.Rand, lo, hi int) *PlanTree {
+	if hi-lo == 1 || rng.Intn(2) == 0 {
+		return &PlanTree{Lo: lo, Hi: hi, Start: lo + rng.Intn(hi-lo)}
+	}
+	m := lo + 1 + rng.Intn(hi-lo-1)
+	return &PlanTree{Lo: lo, Hi: hi, Start: -1,
+		Left: randomTree(rng, lo, m), Right: randomTree(rng, m, hi)}
+}
+
+// TestExecuteTreePropertyAllShapes is the bushy executor's bit-identity
+// property test: on random graphs, every plan tree of every shape — all
+// leaves, all splits, all nested splits — must produce exactly the pairs
+// of the retired dense executor, at several density thresholds.
+func TestExecuteTreePropertyAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		vertices := 2 + rng.Intn(100)
+		labels := 1 + rng.Intn(4)
+		edges := 1 + rng.Intn(6*vertices)
+		g := randomGraph(int64(200+trial), vertices, labels, edges)
+		k := 2 + rng.Intn(3) // 2..4: 3 to 31 tree shapes
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		dref, dst := ExecuteDense(g, p, Forward)
+		density := []float64{0, 1e-9, 1.0}[trial%3]
+		for ti, tree := range allTrees(0, k) {
+			rel, st := ExecuteTree(g, p, tree, Options{DensityThreshold: density, Workers: 1})
+			ctx := fmt.Sprintf("trial %d path %v tree %d %s", trial, p, ti, tree.Describe(k))
+			if !rel.EqualRelation(dref) {
+				t.Fatalf("%s: pairs differ from dense reference", ctx)
+			}
+			if st.Result != dst.Result {
+				t.Fatalf("%s: result %d != dense %d", ctx, st.Result, dst.Result)
+			}
+			if st.Tree != tree {
+				t.Fatalf("%s: stats lost the executed tree", ctx)
+			}
+		}
+	}
+}
+
+// TestExecuteTreeParallelMatchesSequential pins the parallel bushy
+// executor bit-identical to its sequential mode at workers 1–8: same
+// relation, same intermediates, same work. Run under -race (as CI does)
+// it also proves the concurrent segment builds and the sharded final join
+// are data-race-free.
+func TestExecuteTreeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 8; trial++ {
+		vertices := 60 + rng.Intn(200)
+		labels := 1 + rng.Intn(3)
+		edges := vertices + rng.Intn(8*vertices)
+		g := randomGraph(int64(300+trial), vertices, labels, edges)
+		k := 2 + rng.Intn(3)
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		for ti, tree := range allTrees(0, k) {
+			if tree.IsLeaf() {
+				continue // covered by the zig-zag parallel suite
+			}
+			seqRel, seqSt := ExecuteTree(g, p, tree, Options{Workers: 1})
+			for workers := 2; workers <= 8; workers *= 2 {
+				ctx := fmt.Sprintf("trial %d tree %d %s workers %d", trial, ti, tree.Describe(k), workers)
+				rel, st := ExecuteTree(g, p, tree, Options{Workers: workers})
+				if !rel.Equal(seqRel) {
+					t.Fatalf("%s: parallel relation differs from sequential", ctx)
+				}
+				assertStatsEqual(t, ctx, st, seqSt)
+			}
+		}
+	}
+}
+
+// TestCostTreeMatchesExecutedWork pins the planner's cost model to the
+// executor's accounting: with an exact estimator, CostTree must equal the
+// Stats.Work of executing the chosen tree.
+func TestCostTreeMatchesExecutedWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		vertices := 10 + rng.Intn(120)
+		labels := 1 + rng.Intn(4)
+		edges := 1 + rng.Intn(7*vertices)
+		g := randomGraph(int64(400+trial), vertices, labels, edges)
+		pl := Planner{Est: EstimatorFunc(func(p paths.Path) float64 {
+			return float64(paths.Selectivity(g, p))
+		})}
+		for k := 1; k <= 4; k++ {
+			p := make(paths.Path, k)
+			for i := range p {
+				p[i] = rng.Intn(labels)
+			}
+			tree := pl.ChooseTree(p)
+			cost := pl.CostTree(p)
+			_, st := ExecuteTree(g, p, tree, Options{})
+			if float64(st.Work) != cost {
+				t.Fatalf("trial %d path %v tree %s: CostTree %v != executed work %d",
+					trial, p, tree.Describe(k), cost, st.Work)
+			}
+			// The tree plan can never be estimated worse than the best
+			// zig-zag plan — the leaf space is contained in the tree space.
+			if lin := pl.PlanCost(p, pl.ChoosePlan(p).Start); cost > lin {
+				t.Fatalf("trial %d path %v: tree cost %v exceeds linear cost %v", trial, p, cost, lin)
+			}
+		}
+	}
+}
+
+// TestChooseTreeFallsBack pins the linear fallback: with a uniform
+// estimator a bushy join (which pays for both materialized inputs) can
+// never beat linear growth (whose right-hand operand is free), so the
+// chosen tree must be a single leaf — and by the tie-break rule, the
+// forward plan.
+func TestChooseTreeFallsBack(t *testing.T) {
+	pl := Planner{Est: EstimatorFunc(func(p paths.Path) float64 { return 7 })}
+	for k := 1; k <= 6; k++ {
+		p := make(paths.Path, k)
+		tree := pl.ChooseTree(p)
+		if !tree.IsLeaf() || tree.Start != 0 {
+			t.Fatalf("k=%d: expected forward leaf, got %s", k, tree.Describe(k))
+		}
+		if got, want := pl.CostTree(p), pl.PlanCost(p, 0); got != want {
+			t.Fatalf("k=%d: CostTree %v != forward cost %v", k, got, want)
+		}
+	}
+}
+
+// TestChooseTreePrefersBushy hands the planner a cost landscape where
+// every length-3 segment is catastrophically large but both halves of the
+// query are tiny: the only cheap plan joins the two halves, which no
+// zig-zag plan can express.
+func TestChooseTreePrefersBushy(t *testing.T) {
+	est := EstimatorFunc(func(p paths.Path) float64 {
+		switch len(p) {
+		case 1:
+			return 10
+		case 2:
+			return 1
+		default:
+			return 100
+		}
+	})
+	pl := Planner{Est: est}
+	p := paths.Path{0, 1, 2, 3}
+	tree := pl.ChooseTree(p)
+	if tree.IsLeaf() || tree.Left.Hi != 2 || !tree.Left.IsLeaf() || !tree.Right.IsLeaf() {
+		t.Fatalf("expected ([0,2) ⋈ [2,4)) split, got %s", tree.Describe(len(p)))
+	}
+	// dp[0][2] = dp[2][4] = 10 (one single-label intermediate each), plus
+	// both join inputs at 1 each: 22. Best zig-zag: 10 + 1 + 100 = 111.
+	if got := pl.CostTree(p); got != 22 {
+		t.Fatalf("CostTree = %v, want 22", got)
+	}
+	if got := pl.PlanCost(p, pl.ChoosePlan(p).Start); got != 111 {
+		t.Fatalf("best linear cost = %v, want 111", got)
+	}
+}
+
+// TestExecuteTreeValidation pins the malformed-tree panics.
+func TestExecuteTreeValidation(t *testing.T) {
+	g := randomGraph(5, 20, 2, 40)
+	p := paths.Path{0, 1, 0}
+	expectPanic := func(name string, tree *PlanTree) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		ExecuteTree(g, p, tree, Options{})
+	}
+	expectPanic("wrong span", &PlanTree{Lo: 0, Hi: 2, Start: 0})
+	expectPanic("start out of range", &PlanTree{Lo: 0, Hi: 3, Start: 3})
+	expectPanic("one child", &PlanTree{Lo: 0, Hi: 3, Start: -1,
+		Left: &PlanTree{Lo: 0, Hi: 2, Start: 0}})
+	expectPanic("child span gap", &PlanTree{Lo: 0, Hi: 3, Start: -1,
+		Left:  &PlanTree{Lo: 0, Hi: 1, Start: 0},
+		Right: &PlanTree{Lo: 2, Hi: 3, Start: 2}})
+}
+
+// FuzzExecTreeEquivalence fuzzes the graph shape, path, tree shape,
+// density, and worker count, asserting bushy ≡ sequential bushy ≡ dense
+// on every input.
+func FuzzExecTreeEquivalence(f *testing.F) {
+	f.Add(int64(1), 40, 2, 160, uint16(0x3121), int64(5), float64(0), uint8(4))
+	f.Add(int64(2), 90, 3, 500, uint16(0x0042), int64(9), float64(1), uint8(7))
+	f.Add(int64(3), 12, 1, 30, uint16(0x2000), int64(2), float64(1e-9), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, vertices, labels, edges int, pathBits uint16, treeSeed int64, density float64, workers uint8) {
+		if vertices < 1 || vertices > 200 || labels < 1 || labels > 4 ||
+			edges < 0 || edges > 1500 || density < 0 || density > 1 {
+			t.Skip()
+		}
+		g := randomGraph(seed, vertices, labels, edges)
+		k := 1 + int(pathBits>>12)%4
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = int(pathBits>>(4*i)) % labels
+		}
+		tree := randomTree(rand.New(rand.NewSource(treeSeed)), 0, k)
+		w := int(workers%8) + 1
+		dref, _ := ExecuteDense(g, p, Forward)
+		seqRel, seqSt := ExecuteTree(g, p, tree, Options{DensityThreshold: density, Workers: 1})
+		rel, st := ExecuteTree(g, p, tree, Options{DensityThreshold: density, Workers: w})
+		if !seqRel.EqualRelation(dref) {
+			t.Fatalf("path %v tree %s: bushy differs from dense", p, tree.Describe(k))
+		}
+		if !rel.Equal(seqRel) {
+			t.Fatalf("path %v tree %s workers %d: parallel diverged", p, tree.Describe(k), w)
+		}
+		if st.Result != seqSt.Result || st.Work != seqSt.Work {
+			t.Fatalf("path %v tree %s workers %d: stats diverged", p, tree.Describe(k), w)
+		}
+	})
+}

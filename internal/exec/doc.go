@@ -16,6 +16,16 @@
 // carries the plan out and reports the actual intermediate sizes, so
 // planning quality is measurable end to end.
 //
+// Beyond the linear space, a PlanTree is a bushy plan: leaves build query
+// segments with zig-zag plans, and join nodes build their two child
+// segments independently — concurrently when the worker budget allows —
+// then join the finished relations with the sharded relation×relation
+// kernel (bitset.JoinInto / JoinShardInto). Planner.ChooseTree searches
+// the tree space with a dynamic program over segment splits (bounded by
+// MaxTreeLength) and falls back to the best zig-zag plan whenever linear
+// growth is estimated cheaper; ExecuteTree carries a tree out,
+// bit-identical to ExecutePlan and ExecuteDense.
+//
 // Execution runs on the hybrid sparse/dense relation substrate
 // (bitset.HybridRelation): two pooled relations double-buffer through the
 // specialized sparse×CSR / dense×CSR compose kernels, rightward steps use

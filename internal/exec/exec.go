@@ -89,12 +89,21 @@ type Options struct {
 
 // Stats reports what an execution actually did.
 type Stats struct {
-	// Plan is the executed join plan.
+	// Plan is the executed zig-zag join plan. For a bushy execution
+	// (ExecuteTree with a join node at the root) there is no single
+	// zig-zag start; Plan.Start is −1 and Tree holds the real plan.
 	Plan Plan
-	// Intermediates holds the distinct-pair count of the relation entering
-	// each join step (len(p)−1 entries; the final result is Result). These
-	// are exactly the selectivities of the plan's intermediate segments,
-	// so estimating them well is estimating the plan's cost well.
+	// Tree is the executed plan tree, set by ExecuteTree (nil for plain
+	// zig-zag executions). A leaf tree is exactly a zig-zag plan.
+	Tree *PlanTree
+	// Intermediates holds the distinct-pair count of every relation
+	// entering a join step (the final result is Result). For zig-zag
+	// plans that is len(p)−1 entries in step order; for a bushy tree it
+	// is every materialized segment — each leaf's intermediates plus both
+	// inputs of each relation×relation join — in the executor's
+	// deterministic post-order. These are exactly the selectivities of
+	// the plan's interior segments, so estimating them well is estimating
+	// the plan's cost well.
 	Intermediates []int64
 	// Work is the total intermediate volume Σ Intermediates — the cost a
 	// join-order optimizer tries to minimize.

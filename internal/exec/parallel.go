@@ -35,9 +35,12 @@ type stepper struct {
 	scratch []*bitset.ComposeScratch // lazily built, indexed by worker
 
 	// Per-step state, written by the coordinator between Drain rounds and
-	// read by shard bodies during one.
+	// read by shard bodies during one. Exactly one of op / right is the
+	// step's right-hand operand: compose steps set op (relation×CSR),
+	// bushy join steps set right (relation×relation).
 	cur, dst *bitset.HybridRelation
 	op       bitset.CSROperand
+	right    *bitset.HybridRelation
 	bounds   []int     // shard i covers active positions [bounds[i], bounds[i+1])
 	srcs     [][]int32 // per-shard produced sources, reused across steps
 	pairs    []int64   // per-shard produced pair counts
@@ -64,13 +67,19 @@ func (st *stepper) scr(w int) *bitset.ComposeScratch {
 	return st.scratch[w]
 }
 
-// runShard is the scheduler task body: compose the shard's row range into
-// the shared destination with the executing worker's scratch, parking the
-// produced sources and pair count in the shard's own slots.
+// runShard is the scheduler task body: compose (or join, when the step's
+// right-hand operand is a relation) the shard's row range into the shared
+// destination with the executing worker's scratch, parking the produced
+// sources and pair count in the shard's own slots.
 func (st *stepper) runShard(worker int, t shardTask) {
 	lo, hi := st.bounds[t.idx], st.bounds[t.idx+1]
-	st.srcs[t.idx], st.pairs[t.idx] = st.cur.ComposeShardInto(
-		st.dst, st.op, st.scr(worker), lo, hi, st.srcs[t.idx])
+	if st.right != nil {
+		st.srcs[t.idx], st.pairs[t.idx] = st.cur.JoinShardInto(
+			st.dst, st.right, st.scr(worker), lo, hi, st.srcs[t.idx])
+	} else {
+		st.srcs[t.idx], st.pairs[t.idx] = st.cur.ComposeShardInto(
+			st.dst, st.op, st.scr(worker), lo, hi, st.srcs[t.idx])
+	}
 }
 
 // compose runs one join step cur ∘ op → dst. Relations with enough active
@@ -82,17 +91,39 @@ func (st *stepper) runShard(worker int, t shardTask) {
 // decision per step, never a semantic one.
 func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand) {
 	nact := cur.Sources()
-	workers := st.sch.Workers()
-	if workers == 1 || nact < 2*minShardRows {
+	if st.sch.Workers() == 1 || nact < 2*minShardRows {
 		cur.ComposeInto(dst, op, st.scr(0))
 		return
 	}
+	st.op, st.right = op, nil
+	st.runSharded(cur, dst, nact)
+}
+
+// join runs one bushy join step cur ∘ right → dst through the same
+// sharding machinery as compose, with the relation×relation kernel
+// (bitset.JoinShardInto) as the task body. The merge discipline is
+// identical, so the result is bit-identical to sequential JoinInto.
+func (st *stepper) join(cur, dst, right *bitset.HybridRelation) {
+	nact := cur.Sources()
+	if st.sch.Workers() == 1 || nact < 2*minShardRows {
+		cur.JoinInto(dst, right, st.scr(0))
+		return
+	}
+	st.right = right
+	st.runSharded(cur, dst, nact)
+}
+
+// runSharded partitions cur's active sources into shards, runs them on
+// the scheduler, and merges the outcome deterministically. The caller has
+// set the step's right-hand operand (op or right).
+func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) {
+	workers := st.sch.Workers()
 	shards := workers * shardsPerWorker
 	if max := nact / minShardRows; shards > max {
 		shards = max
 	}
 	dst.Reset()
-	st.cur, st.dst, st.op = cur, dst, op
+	st.cur, st.dst = cur, dst
 	if cap(st.bounds) < shards+1 {
 		st.bounds = make([]int, shards+1)
 	}
@@ -115,5 +146,5 @@ func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand
 	for i := 0; i < shards; i++ {
 		dst.AdoptShard(st.srcs[i], st.pairs[i])
 	}
-	st.cur, st.dst = nil, nil
+	st.cur, st.dst, st.right = nil, nil, nil
 }

@@ -76,27 +76,27 @@ func (pl Planner) Costs(p paths.Path) []float64 {
 	return out
 }
 
-// ChoosePlan returns the cheapest of the k zig-zag plans. Ties prefer the
-// forward plan, then the backward plan, then the lowest interior start:
-// endpoint plans skip the two linear reversal passes, so they win when
-// the estimated volumes are equal.
+// ChoosePlan returns the cheapest of the k zig-zag plans. Ties are broken
+// deterministically: the lowest start index wins, so equal-cost plan sets
+// always resolve to the same plan regardless of how the costs were
+// produced. (The forward plan, start 0, therefore still wins the
+// all-equal case, and it is also the cheapest to execute — endpoint plans
+// skip the two linear reversal passes.)
 func (pl Planner) ChoosePlan(p paths.Path) Plan {
 	return CheapestPlan(pl.Costs(p))
 }
 
 // CheapestPlan picks the winning plan from a per-start cost slice (as
-// returned by Costs) using ChoosePlan's tie-break order: forward, then
-// backward, then the lowest interior start. It panics on an empty slice.
+// returned by Costs) using ChoosePlan's tie-break rule: strictly lower
+// cost wins, and on ties the lowest start index wins. It panics on an
+// empty slice.
 func CheapestPlan(costs []float64) Plan {
 	k := len(costs)
 	if k == 0 {
 		panic("exec: plan for empty path query")
 	}
 	best := 0
-	if k > 1 && costs[k-1] < costs[best] {
-		best = k - 1
-	}
-	for s := 1; s < k-1; s++ {
+	for s := 1; s < k; s++ {
 		if costs[s] < costs[best] {
 			best = s
 		}

@@ -273,6 +273,111 @@ func RunParExecBench(scale float64, iters, workers int) *PerfReport {
 	return rep
 }
 
+// BushyBenchQueries are the SNAP-FF label paths the bushy bench executes:
+// longer queries (length 4 and 5) where splitting the path into two
+// independently built segments is actually available to the planner.
+var BushyBenchQueries = []paths.Path{
+	{2, 1, 0, 3},
+	{0, 0, 1, 2},
+	{1, 0, 2, 1, 0},
+}
+
+// balancedTree is the canonical bushy plan for a length-k query: split at
+// k/2 and build both halves as forward linear segments. k must be ≥ 2.
+func balancedTree(k int) *exec.PlanTree {
+	m := k / 2
+	return &exec.PlanTree{Lo: 0, Hi: k, Start: -1,
+		Left:  &exec.PlanTree{Lo: 0, Hi: m, Start: 0},
+		Right: &exec.PlanTree{Lo: m, Hi: k, Start: m},
+	}
+}
+
+// bushyBenchResults measures the bushy executor and the isolated
+// relation×relation join kernel on SNAP-FF: the linear forward plan as
+// the baseline, the balanced two-segment tree against it, the join kernel
+// at each density regime, and the bushy executor's worker-scaling ladder.
+// The balanced tree is a fixed plan shape, not the planner's choice, so
+// the row measures the bushy machinery, not estimator quality.
+func bushyBenchResults(g *graph.CSR, iters, workers int) []PerfResult {
+	execIters := iters * 5
+	opt := exec.Options{Workers: workers}
+	var out []PerfResult
+
+	linear := timeOp(execIters, func() {
+		for _, q := range BushyBenchQueries {
+			exec.ExecutePlan(g, q, exec.Plan{Start: 0}, opt)
+		}
+	})
+	out = append(out, PerfResult{Name: "bushy/linear-forward", Dataset: "SNAP-FF",
+		Workers: workers, Iters: execIters, NsPerOp: linear})
+	tree := timeOp(execIters, func() {
+		for _, q := range BushyBenchQueries {
+			exec.ExecuteTree(g, q, balancedTree(len(q)), opt)
+		}
+	})
+	out = append(out, PerfResult{Name: "bushy/balanced-tree", Dataset: "SNAP-FF",
+		Workers: workers, Iters: execIters, NsPerOp: tree,
+		Speedup: float64(linear) / float64(tree)})
+
+	// Isolated relation×relation join kernel: join the two halves of the
+	// first length-4 query at each density regime. The segments are built
+	// once outside the timed region; the destination and scratch are
+	// reused, so the rows time exactly one JoinInto.
+	q := BushyBenchQueries[0]
+	kernIters := iters * 20
+	var sparseNs int64
+	for _, kern := range []struct {
+		name    string
+		density float64
+	}{
+		{"join/sparse", 1.0},
+		{"join/dense", 1e-9},
+		{"join/adaptive", 0},
+	} {
+		kopt := exec.Options{DensityThreshold: kern.density, Workers: 1}
+		left, _ := exec.ExecutePlan(g, q[:2], exec.Plan{Start: 0}, kopt)
+		right, _ := exec.ExecutePlan(g, q[2:], exec.Plan{Start: 0}, kopt)
+		dst := bitset.NewHybrid(g.NumVertices(), kern.density)
+		scr := bitset.NewComposeScratch(g.NumVertices())
+		ns := timeOp(kernIters, func() { left.JoinInto(dst, right, scr) })
+		r := PerfResult{Name: kern.name, Dataset: "SNAP-FF", Iters: kernIters, NsPerOp: ns}
+		if sparseNs == 0 {
+			sparseNs = ns
+		} else {
+			r.Speedup = float64(sparseNs) / float64(ns)
+		}
+		out = append(out, r)
+	}
+
+	// Worker scaling of the full bushy execution (concurrent segment
+	// builds + sharded final join). Warm the lazy graph operands outside
+	// the timed region so the 1-worker baseline is not charged for them.
+	for _, q := range BushyBenchQueries {
+		exec.ExecuteTree(g, q, balancedTree(len(q)), exec.Options{Workers: 1})
+	}
+	out = append(out, workerLadder([]int{1, 2, 4, workers},
+		PerfResult{Name: "bushyexec/balanced-tree", Dataset: "SNAP-FF", Iters: execIters},
+		func(w int) int64 {
+			wopt := exec.Options{Workers: w}
+			return timeOp(execIters, func() {
+				for _, q := range BushyBenchQueries {
+					exec.ExecuteTree(g, q, balancedTree(len(q)), wopt)
+				}
+			})
+		})...)
+	return out
+}
+
+// RunBushyBench measures only the bushy-plan section — the
+// BENCH_bushy.json artifact. scale/iters default to 0.05/3 when ≤ 0;
+// workers ≤ 0 selects GOMAXPROCS.
+func RunBushyBench(scale float64, iters, workers int) *PerfReport {
+	scale, iters, workers = benchDefaults(scale, iters, workers)
+	rep := newPerfReport(scale, workers)
+	rep.Results = bushyBenchResults(benchSnapFF(scale), iters, workers)
+	return rep
+}
+
 // timeOp runs fn iters times and returns the mean ns/op.
 func timeOp(iters int, fn func()) int64 {
 	start := time.Now()

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunBushyBenchSchema runs the bushy bench at a tiny scale and pins
+// the report's schema-v2 header and section structure — the contract
+// cmd/benchdiff's regression gate consumes.
+func TestRunBushyBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf bench measurement in -short mode")
+	}
+	rep := RunBushyBench(0.02, 1, 2)
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	if rep.NumCPU < 1 || rep.GOMAXPROCS < 1 || rep.Workers != 2 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	want := map[string]bool{
+		"bushy/linear-forward":    false,
+		"bushy/balanced-tree":     false,
+		"join/sparse":             false,
+		"join/dense":              false,
+		"join/adaptive":           false,
+		"bushyexec/balanced-tree": false,
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if r.Name == "bushy/balanced-tree" && r.Speedup <= 0 {
+			t.Fatalf("balanced-tree row missing its speedup vs linear: %+v", r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("bushy bench missing section %q", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if round.SchemaVersion != rep.SchemaVersion || len(round.Results) != len(rep.Results) {
+		t.Fatal("report round-trip lost fields")
+	}
+}

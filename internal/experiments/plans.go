@@ -13,61 +13,109 @@ import (
 	"repro/internal/paths"
 )
 
-// PlanCell is one ordering method's plan-quality measurement.
+// PlanCell is one ordering method's plan-quality measurement, over both
+// plan spaces: the k linear zig-zag plans and the full bushy tree space.
 type PlanCell struct {
 	Method string
 	Beta   int
 	// Agreement is the fraction of queries where the histogram-driven
 	// planner's chosen zig-zag plan costs exactly as much actual work as
-	// the exact-statistics oracle's best plan (equal-work ties count as
-	// agreement — the planner lost nothing).
+	// the exact-statistics oracle's best zig-zag plan (equal-work ties
+	// count as agreement — the planner lost nothing).
 	Agreement float64
 	// WorkRatio is (total work of chosen plans) / (total work of optimal
 	// plans) — 1.0 means estimation errors never cost any actual work.
 	WorkRatio float64
+	// TreeAgreement and TreeWorkRatio are the same two measurements over
+	// the bushy space: the planner's ChooseTree against the oracle's best
+	// plan tree (every shape enumerated and executed).
+	TreeAgreement float64
+	TreeWorkRatio float64
+	// OracleBushyWins is workload-level (identical in every cell): the
+	// fraction of queries where the best bushy tree does strictly less
+	// actual work than the best zig-zag plan — how often the wider plan
+	// space matters at all, independent of estimator quality.
+	OracleBushyWins float64
+}
+
+// enumerateTrees lists every plan tree over segment [lo, hi) — all
+// zig-zag leaves and all bushy splits, recursively. For the experiment's
+// length-4 queries that is 31 trees.
+func enumerateTrees(lo, hi int) []*exec.PlanTree {
+	var out []*exec.PlanTree
+	for s := lo; s < hi; s++ {
+		out = append(out, &exec.PlanTree{Lo: lo, Hi: hi, Start: s})
+	}
+	for m := lo + 1; m < hi; m++ {
+		for _, l := range enumerateTrees(lo, m) {
+			for _, r := range enumerateTrees(m, hi) {
+				out = append(out, &exec.PlanTree{Lo: lo, Hi: hi, Start: -1, Left: l, Right: r})
+			}
+		}
+	}
+	return out
 }
 
 // PlanQuality is the end-to-end experiment the paper's introduction
 // motivates but does not run: feed each ordering method's histogram
-// estimates into the zig-zag planner — which chooses among k plans per
-// length-k query, one per join start position, not just
-// forward/backward — and measure how often the resulting plans match the
-// exact-statistics oracle's work, and how much extra work the mistakes
-// cost. The larger plan space widens the spread between good and bad
-// estimators: a mediocre histogram can still get a binary direction
-// right, but ranking k interior starts correctly demands accurate
-// segment estimates. Dataset: Moreno Health substitute, length-3 queries
-// with non-empty answers.
+// estimates into the planner and measure how often the resulting plans
+// match the exact-statistics oracle's work, and how much extra work the
+// mistakes cost. It measures two plan spaces per method: the k zig-zag
+// plans of a length-k query (one per join start position), and the full
+// bushy tree space (every way to split the query into independently
+// built segments joined relation×relation), whose oracle is computed by
+// executing every tree shape. The larger spaces widen the spread between
+// good and bad estimators: a mediocre histogram can still get a binary
+// direction right, but ranking interior starts — and interior segment
+// pairs — correctly demands accurate segment estimates.
+//
+// Queries are length 4 over a census (and histogram) bounded at k = 3:
+// a length-4 plan — linear or bushy — only ever feeds segments of length
+// ≤ 3 into its cost, so planning queries one step beyond the statistics
+// bound is exactly what the plan search is for. Length 4 also matters
+// structurally: it is the shortest query where a bushy tree can beat
+// every zig-zag plan (a k = 3 split always has a single-label side,
+// whose materialization a zig-zag step gets for free). Dataset: Moreno
+// Health substitute, queries with non-empty answers.
 func PlanQuality(opt Options) ([]PlanCell, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	g := dataset.Generate(dataset.Table3()[0], opt.Scale, opt.Seed).Freeze()
-	k := 3
-	census := paths.NewCensusParallel(g, k, 0)
+	const censusK = 3          // statistics bound
+	const queryK = censusK + 1 // plan-search bound: segments stay ≤ censusK
+	census := paths.NewCensusParallel(g, censusK, 0)
 	beta := int(census.Size() / 16)
 	if beta < 2 {
 		beta = 2
 	}
 
-	// Query workload: length-3 paths with non-empty answers (plans for
+	// Query workload: length-4 paths with non-empty answers (plans for
 	// empty queries are all equally cheap).
 	rng := rand.New(rand.NewSource(opt.Seed))
+	k := queryK
 	var queries []paths.Path
 	for len(queries) < opt.Queries {
 		p := make(paths.Path, k)
 		for i := range p {
 			p[i] = rng.Intn(g.NumLabels())
 		}
-		if census.Selectivity(p) > 0 {
+		if paths.Selectivity(g, p) > 0 {
 			queries = append(queries, p)
 		}
 	}
 
-	// Actual work per query and plan start, measured once on the hybrid
-	// executor; the per-query optimum is the oracle's floor.
-	works := make([][]int64, len(queries))
+	// Actual work per query for every zig-zag start and every tree shape,
+	// measured once on the hybrid executor; the per-query optima are the
+	// two oracles' floors, and the per-shape works (keyed by the tree's
+	// canonical description) are the lookup the per-method loop below
+	// reads instead of re-executing each chosen tree.
+	trees := enumerateTrees(0, k)
+	works := make([][]int64, len(queries))              // by zig-zag start
+	treeWorks := make([]map[string]int64, len(queries)) // by tree shape
 	optima := make([]int64, len(queries))
+	treeOptima := make([]int64, len(queries))
+	bushyWins := 0
 	for i, q := range queries {
 		works[i] = make([]int64, k)
 		for s := 0; s < k; s++ {
@@ -80,11 +128,30 @@ func PlanQuality(opt Options) ([]PlanCell, error) {
 				optima[i] = w
 			}
 		}
+		treeWorks[i] = make(map[string]int64, len(trees))
+		treeOptima[i] = optima[i]
+		for _, tree := range trees {
+			var w int64
+			if tree.IsLeaf() {
+				w = works[i][tree.Start]
+			} else {
+				_, st := exec.ExecuteTree(g, q, tree, exec.Options{})
+				w = st.Work
+				if w < treeOptima[i] {
+					treeOptima[i] = w
+				}
+			}
+			treeWorks[i][tree.Describe(k)] = w
+		}
+		if treeOptima[i] < optima[i] {
+			bushyWins++
+		}
 	}
+	oracleBushyWins := float64(bushyWins) / float64(len(queries))
 
 	var out []PlanCell
 	for _, method := range ordering.PaperMethods() {
-		ord, err := ordering.ForGraph(method, g, k)
+		ord, err := ordering.ForGraph(method, g, censusK)
 		if err != nil {
 			return nil, err
 		}
@@ -93,8 +160,8 @@ func PlanQuality(opt Options) ([]PlanCell, error) {
 			return nil, err
 		}
 		planner := exec.Planner{Est: exec.EstimatorFunc(ph.Estimate)}
-		agree := 0
-		var chosenWork, optimalWork int64
+		agree, treeAgree := 0, 0
+		var chosenWork, optimalWork, chosenTreeWork, optimalTreeWork int64
 		for i, q := range queries {
 			chosen := planner.ChoosePlan(q)
 			w := works[i][chosen.Start]
@@ -103,15 +170,30 @@ func PlanQuality(opt Options) ([]PlanCell, error) {
 			}
 			chosenWork += w
 			optimalWork += optima[i]
+
+			tw, ok := treeWorks[i][planner.ChooseTree(q).Describe(k)]
+			if !ok {
+				panic("experiments: chosen tree outside the enumerated shape space")
+			}
+			if tw == treeOptima[i] {
+				treeAgree++
+			}
+			chosenTreeWork += tw
+			optimalTreeWork += treeOptima[i]
 		}
-		ratio := 1.0
-		if optimalWork > 0 {
-			ratio = float64(chosenWork) / float64(optimalWork)
+		ratio := func(chosen, optimal int64) float64 {
+			if optimal > 0 {
+				return float64(chosen) / float64(optimal)
+			}
+			return 1.0
 		}
 		out = append(out, PlanCell{
 			Method: method, Beta: beta,
-			Agreement: float64(agree) / float64(len(queries)),
-			WorkRatio: ratio,
+			Agreement:       float64(agree) / float64(len(queries)),
+			WorkRatio:       ratio(chosenWork, optimalWork),
+			TreeAgreement:   float64(treeAgree) / float64(len(queries)),
+			TreeWorkRatio:   ratio(chosenTreeWork, optimalTreeWork),
+			OracleBushyWins: oracleBushyWins,
 		})
 	}
 	return out, nil
@@ -120,14 +202,16 @@ func PlanQuality(opt Options) ([]PlanCell, error) {
 // WritePlanCSV exports a PlanQuality run.
 func WritePlanCSV(w io.Writer, cells []PlanCell) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"method", "beta", "agreement", "work_ratio"}); err != nil {
+	if err := cw.Write([]string{"method", "beta", "agreement", "work_ratio",
+		"tree_agreement", "tree_work_ratio", "oracle_bushy_wins"}); err != nil {
 		return err
 	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 	for _, c := range cells {
 		if err := cw.Write([]string{
 			c.Method, strconv.Itoa(c.Beta),
-			strconv.FormatFloat(c.Agreement, 'f', 4, 64),
-			strconv.FormatFloat(c.WorkRatio, 'f', 4, 64),
+			ff(c.Agreement), ff(c.WorkRatio),
+			ff(c.TreeAgreement), ff(c.TreeWorkRatio), ff(c.OracleBushyWins),
 		}); err != nil {
 			return err
 		}

@@ -24,6 +24,18 @@ func TestPlanQuality(t *testing.T) {
 		if c.WorkRatio < 1 {
 			t.Fatalf("work ratio %v below 1 (cannot beat the oracle): %+v", c.WorkRatio, c)
 		}
+		if c.TreeAgreement < 0 || c.TreeAgreement > 1 {
+			t.Fatalf("tree agreement %v outside [0,1]: %+v", c.TreeAgreement, c)
+		}
+		if c.TreeWorkRatio < 1 {
+			t.Fatalf("tree work ratio %v below 1 (cannot beat the tree oracle): %+v", c.TreeWorkRatio, c)
+		}
+		if c.OracleBushyWins < 0 || c.OracleBushyWins > 1 {
+			t.Fatalf("oracle bushy wins %v outside [0,1]: %+v", c.OracleBushyWins, c)
+		}
+		if c.OracleBushyWins != cells[0].OracleBushyWins {
+			t.Fatalf("OracleBushyWins is workload-level and must not vary by method: %+v", c)
+		}
 	}
 	var buf bytes.Buffer
 	if err := WritePlanCSV(&buf, cells); err != nil {
@@ -35,12 +47,12 @@ func TestPlanQuality(t *testing.T) {
 }
 
 func TestPlanQualityEstimatesHelp(t *testing.T) {
-	// Histogram-driven planning must beat random planning. A length-3
-	// query has 3 zig-zag plans, so picking one uniformly at random finds
-	// the optimum on ≥ 1/3 of queries (ties only help); every ordering
-	// method must clear that bar, and the better half of the field must be
-	// decisively above it — the spread between methods is the point of the
-	// k-plan space.
+	// Histogram-driven planning must beat random planning. A length-4
+	// query has 4 zig-zag plans, so picking one uniformly at random finds
+	// the optimum on ≥ 1/4 of queries (ties only help); every ordering
+	// method must clear even the old 3-plan bar of 1/3, and the better
+	// half of the field must be decisively above it — the spread between
+	// methods is the point of the widened plan space.
 	opt := Options{
 		Scale: 0.08, Seed: 1, TimingK: 3,
 		AccuracyKs: []int{3}, BetaDenoms: []int{16},

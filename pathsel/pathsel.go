@@ -211,6 +211,15 @@ type Config struct {
 	// sparse. Purely a performance knob — results are identical at any
 	// setting.
 	DensityThreshold float64
+	// BushyPlans widens PlanQuery/ExecuteQuery's search from the k linear
+	// zig-zag plans to the full bushy plan-tree space: a dynamic program
+	// enumerates every way to split the query into independently built
+	// segments joined pairwise (relation×relation), costing interior
+	// segments from the histogram, and falls back to the best zig-zag
+	// plan whenever linear growth is estimated cheaper. Every plan
+	// produces identical results — this knob only changes which plan is
+	// chosen, and so how much intermediate work execution does.
+	BushyPlans bool
 }
 
 func (c *Config) fill() error {

@@ -22,9 +22,17 @@ type QueryPlan struct {
 	// EstimatedCost is the chosen plan's estimated total intermediate
 	// volume (sum of estimated segment selectivities, in vertex pairs).
 	EstimatedCost float64
-	// Costs holds the estimate for every candidate plan, indexed by start
-	// position, so callers can see the spread the choice was made over.
+	// Costs holds the estimate for every candidate zig-zag plan, indexed
+	// by start position, so callers can see the spread the choice was
+	// made over.
 	Costs []float64
+	// Tree is the chosen plan tree when Config.BushyPlans is set, nil
+	// otherwise. A leaf tree is exactly the zig-zag plan the other fields
+	// describe; a join-node tree is a bushy plan — then Start is −1,
+	// Description renders the tree, and EstimatedCost is the tree's cost
+	// (never higher than the best zig-zag candidate in Costs, since the
+	// linear space is contained in the tree space).
+	Tree *exec.PlanTree
 }
 
 // ExecStats reports an executed path query.
@@ -32,7 +40,9 @@ type ExecStats struct {
 	// Plan is the strategy that was executed.
 	Plan QueryPlan
 	// Intermediates holds the actual distinct-pair count entering each
-	// join step (len(path)−1 entries).
+	// join step: len(path)−1 entries for a linear plan; for a bushy plan
+	// every materialized segment relation, including both inputs of each
+	// relation×relation join, in the executor's deterministic post-order.
 	Intermediates []int64
 	// Work is Σ Intermediates — the actual cost the planner tried to
 	// minimize.
@@ -58,16 +68,30 @@ func (e *Estimator) parseBounded(q string) (paths.Path, error) {
 	return p, nil
 }
 
-// planParsed costs every candidate plan once and picks the winner.
+// planParsed costs every candidate plan once and picks the winner: the
+// cheapest zig-zag plan, or — under Config.BushyPlans — the cheapest plan
+// tree, which degenerates to the zig-zag winner whenever linear growth is
+// estimated cheaper than every bushy split.
 func (e *Estimator) planParsed(p paths.Path) QueryPlan {
-	costs := e.planner().Costs(p)
+	pl := e.planner()
+	costs := pl.Costs(p)
 	plan := exec.CheapestPlan(costs)
-	return QueryPlan{
+	qp := QueryPlan{
 		Start:         plan.Start,
 		Description:   plan.Describe(len(p)),
 		EstimatedCost: costs[plan.Start],
 		Costs:         costs,
 	}
+	if e.cfg.BushyPlans {
+		tree, cost := pl.ChooseTreeWithCost(p)
+		qp.Tree = tree
+		if !tree.IsLeaf() {
+			qp.Start = -1
+			qp.Description = tree.Describe(len(p))
+			qp.EstimatedCost = cost
+		}
+	}
+	return qp
 }
 
 // PlanQuery chooses among the query's zig-zag join plans using this
@@ -83,9 +107,12 @@ func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
 }
 
 // ExecuteQuery plans q with the histogram and carries the chosen plan out
-// on the hybrid execution engine, honoring Config.DensityThreshold and
+// on the hybrid execution engine, honoring Config.DensityThreshold,
 // Config.Workers (join steps shard their source rows across that many
-// work-stealing workers; results are bit-identical at every setting). The
+// work-stealing workers; results are bit-identical at every setting), and
+// Config.BushyPlans (a chosen bushy tree builds its segments
+// independently — in parallel when the worker budget allows — and joins
+// them with the sharded relation×relation kernel). The
 // returned stats hold the exact result count and the actual intermediate
 // sizes, so estimate-driven plan quality is measurable against the ground
 // truth. Unlike the histogram methods this touches the graph itself, with
@@ -96,8 +123,13 @@ func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
 		return ExecStats{}, err
 	}
 	plan := e.planParsed(p)
-	_, st := exec.ExecutePlan(e.gr.csr(), p, exec.Plan{Start: plan.Start},
-		exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: e.cfg.Workers})
+	opt := exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: e.cfg.Workers}
+	var st exec.Stats
+	if plan.Tree != nil {
+		_, st = exec.ExecuteTree(e.gr.csr(), p, plan.Tree, opt)
+	} else {
+		_, st = exec.ExecutePlan(e.gr.csr(), p, exec.Plan{Start: plan.Start}, opt)
+	}
 	return ExecStats{
 		Plan:          plan,
 		Intermediates: st.Intermediates,

@@ -103,6 +103,79 @@ func TestExecuteQueryHonorsDensityThreshold(t *testing.T) {
 	}
 }
 
+// TestBushyPlansMatchLinear pins Config.BushyPlans as a pure performance
+// knob: the same queries must produce the same exact results with and
+// without it, with the plan surfaced through QueryPlan.Tree. The plan
+// tree's estimated cost can never exceed the best zig-zag candidate —
+// the linear space is contained in the tree space.
+func TestBushyPlansMatchLinear(t *testing.T) {
+	g, err := GenerateDataset("Moreno health", 0.15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Build(g, Config{MaxPathLength: 4, Buckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushy, err := Build(g, Config{MaxPathLength: 4, Buckets: 32, BushyPlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := g.Labels()
+	queries := []string{
+		labels[0],
+		labels[0] + "/" + labels[1],
+		labels[1] + "/" + labels[0] + "/" + labels[1],
+		labels[0] + "/" + labels[1] + "/" + labels[0] + "/" + labels[1],
+	}
+	for _, q := range queries {
+		lp, err := lin.PlanQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Tree != nil {
+			t.Fatalf("query %q: linear config surfaced a plan tree", q)
+		}
+		bp, err := bushy.PlanQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp.Tree == nil {
+			t.Fatalf("query %q: BushyPlans config missing the plan tree", q)
+		}
+		best := bp.Costs[0]
+		for _, c := range bp.Costs[1:] {
+			if c < best {
+				best = c
+			}
+		}
+		if bp.EstimatedCost > best {
+			t.Fatalf("query %q: tree cost %v exceeds best zig-zag cost %v", q, bp.EstimatedCost, best)
+		}
+		if bp.Tree.IsLeaf() && bp.Start != bp.Tree.Start {
+			t.Fatalf("query %q: leaf tree start %d != plan start %d", q, bp.Tree.Start, bp.Start)
+		}
+		lst, err := lin.ExecuteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bst, err := bushy.ExecuteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lst.Result != bst.Result {
+			t.Fatalf("query %q: bushy result %d != linear result %d", q, bst.Result, lst.Result)
+		}
+		want, err := g.TrueSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bst.Result != want {
+			t.Fatalf("query %q: bushy result %d != exact selectivity %d", q, bst.Result, want)
+		}
+	}
+}
+
 func TestPlanQueryErrors(t *testing.T) {
 	_, est := planTestEstimator(t)
 	if _, err := est.PlanQuery("no-such-label"); err == nil {
