@@ -19,6 +19,13 @@
 // rows (compose/*, join/*) time microsecond-scale operations whose
 // ratios legitimately swing ±30% between runs at low iteration counts,
 // so they are informational, while every engine-level row is gated.
+// The cache section (BENCH_cache.json) gets a stricter rule: a cache/*
+// case is skipped unless both sides measured at least cacheNoiseMult ×
+// -min-ns, because its rows time whole workload passes — warm passes are
+// copy-bound, and on small datasets even cold passes are few-ms — whose
+// cold/warm and cold/populate ratios legitimately jitter far more than
+// any kernel ratio at low iteration counts; hard-failing on that jitter
+// would make the gate cry wolf.
 // A baseline case that has no matching case in the new report (same
 // name, dataset, k, and workers) fails the gate: silently dropping a
 // measured case is itself a regression.
@@ -29,9 +36,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
+
+// cacheNoiseMult raises the noise floor for the cache section: a cache/*
+// ratio is only gated when both sides measured at least this many
+// multiples of -min-ns. Cache rows time whole workload passes whose
+// ratios divide two few-millisecond numbers — warm passes serve whole
+// queries by copy, and on small datasets even the cold and populate
+// passes sit in the single-digit-ms band — so their cold/warm and
+// cold/populate ratios legitimately jitter far beyond the engine rows
+// the default floor was tuned for.
+const cacheNoiseMult = 10
+
+// isCacheRow recognizes the cache section's workload rows.
+func isCacheRow(name string) bool { return strings.HasPrefix(name, "cache/") }
 
 // caseKey identifies one comparable measurement across reports.
 type caseKey struct {
@@ -55,8 +76,9 @@ func (k caseKey) String() string {
 // Diff compares every baseline case carrying a speedup ratio against the
 // new report and returns the verdict lists: checked cases that passed,
 // cases skipped as uncomparable (wall-clock-sensitive — workers > 1
-// while the reports' num_cpu headers differ — or timed below the minNs
-// noise floor on either side), and failures (regressed beyond the
+// while the reports' num_cpu headers differ — timed below the minNs
+// noise floor on either side, or a cache-section row under its raised
+// cacheNoiseMult floor), and failures (regressed beyond the
 // threshold, or missing from the new report). threshold is the tolerated
 // fractional loss: 0.25 fails when a new ratio drops below 75% of the
 // baseline.
@@ -87,6 +109,11 @@ func Diff(base, fresh *experiments.PerfReport, threshold float64, minNs int64) (
 		}
 		if n.NsPerOp < minNs {
 			skipped = append(skipped, fmt.Sprintf("%s: new op %dns below the %dns noise floor", key, n.NsPerOp, minNs))
+			continue
+		}
+		if floor := cacheNoiseMult * minNs; isCacheRow(b.Name) && (b.NsPerOp < floor || n.NsPerOp < floor) {
+			skipped = append(skipped, fmt.Sprintf("%s: cache workload pass under the %dns ratio-jitter floor (%dns vs %dns)",
+				key, floor, b.NsPerOp, n.NsPerOp))
 			continue
 		}
 		if n.Speedup <= 0 {

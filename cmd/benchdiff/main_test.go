@@ -102,6 +102,55 @@ func TestDiffZeroThresholdExactBar(t *testing.T) {
 	}
 }
 
+func TestDiffCacheRowsUnderRaisedFloor(t *testing.T) {
+	// Cache rows time whole workload passes whose ratios jitter far
+	// beyond the kernel rows', so they are gated only when both sides
+	// measured at least cacheNoiseMult × the noise floor. A warm pass in
+	// the 1–10ms band with a collapsed ratio must be skipped, not failed
+	// — and so must a small-dataset populate pass.
+	warmBase := row("cache/warm", 1, 4.0)
+	warmBase.NsPerOp = 3_000_000 // above 1ms, below the 10ms raised floor
+	warmFresh := warmBase
+	warmFresh.Speedup = 1.2 // would hard-fail if gated
+	populateBase := row("cache/populate", 1, 2.8)
+	populateBase.NsPerOp = 2_000_000 // small dataset: few-ms pass
+	populateFresh := populateBase
+	populateFresh.Speedup = 1.2 // would hard-fail if gated
+	slowBase := row("cache/populate", 1, 0.9)
+	slowBase.NsPerOp = 30_000_000
+	slowBase.K = 4 // distinct case key from the small populate row
+	slowFresh := slowBase
+	base := report(1, warmBase, populateBase, slowBase)
+	fresh := report(1, warmFresh, populateFresh, slowFresh)
+	passed, skipped, failures := Diff(base, fresh, 0.25, 1_000_000)
+	if len(failures) != 0 {
+		t.Fatalf("cache-section jitter hard-failed: %v", failures)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want the two sub-floor cache rows", skipped)
+	}
+	for _, s := range skipped {
+		if !strings.Contains(s, "ratio-jitter") {
+			t.Fatalf("skip reason %q does not name the jitter floor", s)
+		}
+	}
+	// The slow populate row clears the raised floor and stays gated.
+	if len(passed) != 1 || !strings.Contains(passed[0], "cache/populate") {
+		t.Fatalf("passed = %v, want the slow populate row gated as usual", passed)
+	}
+
+	// Cache rows slow enough to clear the raised floor on both sides are
+	// gated like any other case.
+	warmBase.NsPerOp = 20_000_000
+	warmFresh.NsPerOp = 20_000_000
+	base = report(1, warmBase)
+	fresh = report(1, warmFresh)
+	_, _, failures = Diff(base, fresh, 0.25, 1_000_000)
+	if len(failures) != 1 {
+		t.Fatalf("slow warm-cache regression not gated: %v", failures)
+	}
+}
+
 func TestDiffNoiseFloorSkipsMicroKernels(t *testing.T) {
 	// Micro-kernel rows time µs-scale ops whose ratios swing between runs;
 	// below the noise floor they are reported as skipped, not gated —

@@ -40,18 +40,30 @@ func main() {
 	benchExecJSON := flag.String("bench-exec-json", "", "run only the query-execution perf bench and write a BENCH JSON report to this file, then exit")
 	benchParExecJSON := flag.String("bench-par-exec-json", "", "run only the parallel-executor scaling bench and write a BENCH JSON report to this file, then exit")
 	benchBushyJSON := flag.String("bench-bushy-json", "", "run only the bushy-plan/join-kernel perf bench and write a BENCH JSON report to this file, then exit")
+	benchCacheJSON := flag.String("bench-cache-json", "", "run only the segment-relation cache workload bench (cold vs warm) and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
 	flag.Parse()
 
 	for _, b := range []struct {
 		path string
-		run  func() *experiments.PerfReport
+		run  func() (*experiments.PerfReport, error)
 	}{
-		{*benchJSON, func() *experiments.PerfReport { return experiments.RunPerfBench(*scale, *benchIters, *workers) }},
-		{*benchExecJSON, func() *experiments.PerfReport { return experiments.RunExecBench(*scale, *benchIters, *workers) }},
-		{*benchParExecJSON, func() *experiments.PerfReport { return experiments.RunParExecBench(*scale, *benchIters, *workers) }},
-		{*benchBushyJSON, func() *experiments.PerfReport { return experiments.RunBushyBench(*scale, *benchIters, *workers) }},
+		{*benchJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunPerfBench(*scale, *benchIters, *workers), nil
+		}},
+		{*benchExecJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunExecBench(*scale, *benchIters, *workers), nil
+		}},
+		{*benchParExecJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunParExecBench(*scale, *benchIters, *workers), nil
+		}},
+		{*benchBushyJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunBushyBench(*scale, *benchIters, *workers), nil
+		}},
+		{*benchCacheJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunCacheBench(*scale, *benchIters, *workers)
+		}},
 	} {
 		if b.path == "" {
 			continue
@@ -60,7 +72,10 @@ func main() {
 		// fails fast.
 		f, err := os.Create(b.path)
 		if err == nil {
-			err = b.run().WriteJSON(f)
+			var rep *experiments.PerfReport
+			if rep, err = b.run(); err == nil {
+				err = rep.WriteJSON(f)
+			}
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -71,7 +86,8 @@ func main() {
 		}
 		fmt.Printf("wrote perf bench report to %s\n", b.path)
 	}
-	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" || *benchBushyJSON != "" {
+	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" ||
+		*benchBushyJSON != "" || *benchCacheJSON != "" {
 		return
 	}
 
@@ -219,6 +235,8 @@ func run(exp string, opt experiments.Options, csvDir string) error {
 			if len(cells) > 0 {
 				fmt.Fprintf(out, "\nbushy oracle wins (best tree strictly beats best zig-zag): %.3f of queries\n",
 					cells[0].OracleBushyWins)
+				fmt.Fprintf(out, "cache-aware bushy wins (exact planner, length-2 segments warm): %.3f of queries\n",
+					cells[0].CacheBushyWins)
 			}
 			return writeCSV(csvDir, "plans.csv", func(f *os.File) error {
 				return experiments.WritePlanCSV(f, cells)

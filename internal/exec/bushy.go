@@ -128,6 +128,14 @@ func (pl Planner) treeDP(p paths.Path) [][]treeCell {
 			costs := pl.Costs(seg)
 			leaf := CheapestPlan(costs)
 			best := treeCell{cost: costs[leaf.Start], split: -1, start: i + leaf.Start}
+			if pl.Cached != nil && pl.Cached(seg) {
+				// The segment's finished relation is already cached:
+				// the executor adopts it whole (the whole-segment fast
+				// path), so building it costs nothing. The segment still
+				// contributes its estimated size wherever a parent join
+				// consumes it — adoption is free, scanning is not.
+				best.cost = 0
+			}
 			for m := i + 1; m < j; m++ {
 				c := dp[i][m].cost + dp[m][j].cost +
 					pl.Est.Estimate(p[i:m]) + pl.Est.Estimate(p[m:j])
@@ -201,22 +209,38 @@ type treeExec struct {
 }
 
 // run executes the subtree with the given worker budget and returns the
-// segment's relation plus the intermediate sizes it materialized along
-// the way (in deterministic post-order: left subtree's, right subtree's,
-// then — for join nodes — the two join inputs themselves).
-func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int64) {
+// segment's relation, the intermediate sizes it materialized along the
+// way (in deterministic post-order: left subtree's, right subtree's,
+// then — for join nodes — the two join inputs themselves), and the
+// subtree's segment-cache hit/miss counts. A join node whose whole
+// segment is already cached adopts it without building either child —
+// this is how a warm cache gives bushy plans their leaf inputs, and
+// whole subtrees, for free.
+func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int64, int, int) {
 	if t.IsLeaf() {
 		rel, st := ExecutePlan(tx.g, tx.p[t.Lo:t.Hi], Plan{Start: t.Start - t.Lo},
-			Options{DensityThreshold: tx.opt.DensityThreshold, Workers: workers})
-		return rel, st.Intermediates
+			Options{DensityThreshold: tx.opt.DensityThreshold, Workers: workers, Cache: tx.opt.Cache})
+		return rel, st.Intermediates, st.CacheHits, st.CacheMisses
+	}
+	n := tx.g.NumVertices()
+	seg := tx.p[t.Lo:t.Hi]
+	sc := newSegCache(tx.opt.Cache, n, tx.opt.DensityThreshold)
+	if sc != nil {
+		dst := bitset.NewHybrid(n, tx.opt.DensityThreshold)
+		if sc.adopt(seg, false, dst) {
+			return dst, nil, 1, 0
+		}
 	}
 	// The two segments are independent: split the worker budget and build
 	// them concurrently. Each child drives its own scheduler, so the two
-	// builds share nothing but the read-only graph; their outputs — and
-	// therefore the join below — are unaffected by timing.
+	// builds share nothing but the read-only graph and the thread-safe
+	// cache; adoption is bit-identical to recomputation, so their
+	// outputs — and therefore the join below — are unaffected by timing.
 	var (
 		lrel, rrel *bitset.HybridRelation
 		li, ri     []int64
+		lh, lm     int
+		rh, rm     int
 	)
 	if workers > 1 {
 		lw := (workers + 1) / 2
@@ -224,20 +248,25 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lrel, li = tx.run(t.Left, lw)
+			lrel, li, lh, lm = tx.run(t.Left, lw)
 		}()
-		rrel, ri = tx.run(t.Right, workers-lw)
+		rrel, ri, rh, rm = tx.run(t.Right, workers-lw)
 		wg.Wait()
 	} else {
-		lrel, li = tx.run(t.Left, 1)
-		rrel, ri = tx.run(t.Right, 1)
+		lrel, li, lh, lm = tx.run(t.Left, 1)
+		rrel, ri, rh, rm = tx.run(t.Right, 1)
 	}
 	ints := append(li, ri...)
 	ints = append(ints, lrel.Pairs(), rrel.Pairs())
-	dst := bitset.NewHybrid(tx.g.NumVertices(), tx.opt.DensityThreshold)
-	stp := newStepper(tx.g.NumVertices(), workers)
+	dst := bitset.NewHybrid(n, tx.opt.DensityThreshold)
+	stp := newStepper(n, workers)
 	stp.join(lrel, dst, rrel)
-	return dst, ints
+	// Publish the joined segment in forward orientation: a later zig-zag
+	// over the same labels, a repeat of this subtree, or the whole-query
+	// fast path can all adopt it.
+	sc.put(seg, false, dst)
+	hits, misses := sc.counters()
+	return dst, ints, lh + rh + hits, lm + rm + misses
 }
 
 // ExecuteTree evaluates p over g with the given plan tree: leaves run as
@@ -265,8 +294,9 @@ func ExecuteTree(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options) (*bits
 		return rel, st
 	}
 	tx := &treeExec{g: g, p: p, opt: opt}
-	rel, ints := tx.run(tree, sched.WorkerCount(opt.Workers))
-	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints, Result: rel.Pairs()}
+	rel, ints, hits, misses := tx.run(tree, sched.WorkerCount(opt.Workers))
+	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints, Result: rel.Pairs(),
+		CacheHits: hits, CacheMisses: misses}
 	for _, v := range ints {
 		st.Work += v
 	}

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/paths"
+	"repro/internal/relcache"
+)
+
+// segCache is one execution's view of the shared segment-relation cache
+// (internal/relcache): it pins the representation regime every adopted
+// entry must match (universe size and sparse→dense promotion limit, both
+// fixed by the call's graph and Options.DensityThreshold) and tallies the
+// call's hit/miss counts for Stats. A nil *segCache is the cache-disabled
+// mode — every method no-ops — so the executor threads it unconditionally.
+//
+// Only segments of length ≥ 2 are cached: a single-label relation is a
+// near-verbatim copy of the graph's CSR adjacency, so caching it would
+// spend budget to replace one copy with another.
+type segCache struct {
+	c            *relcache.Cache
+	n            int // vertex universe of the executing graph
+	limit        int // required sparse promotion limit of adoptable entries
+	hits, misses int
+}
+
+// newSegCache returns the execution view over c, or nil when c is nil.
+func newSegCache(c *relcache.Cache, n int, density float64) *segCache {
+	if c == nil {
+		return nil
+	}
+	return &segCache{c: c, n: n, limit: bitset.SparseLimit(n, density)}
+}
+
+// adopt copies the cached relation of the segment (in the given
+// orientation) into dst and reports whether an adoptable entry existed.
+// Entries from a different representation regime — another universe or
+// promotion limit — are ignored rather than adopted, so execution stays
+// bit-identical to computing the segment from scratch no matter what the
+// cache holds.
+func (sc *segCache) adopt(seg paths.Path, reversed bool, dst *bitset.HybridRelation) bool {
+	if sc == nil || len(seg) < 2 {
+		return false
+	}
+	rel, ok := sc.c.Get(seg, reversed)
+	if !ok || rel.Universe() != sc.n || rel.SparseMax() != sc.limit {
+		return false
+	}
+	rel.CopyInto(dst)
+	sc.hits++
+	return true
+}
+
+// put stores a freshly materialized segment relation (length ≥ 2) and
+// counts the miss: every put is a segment that was computed because no
+// adoptable entry existed.
+func (sc *segCache) put(seg paths.Path, reversed bool, rel *bitset.HybridRelation) {
+	if sc == nil || len(seg) < 2 {
+		return
+	}
+	sc.c.Put(seg, reversed, rel)
+	sc.misses++
+}
+
+// publish stores a segment relation without touching the miss tally —
+// for relations that were derived rather than composed (the forward
+// orientation of a leftward-grown query, republished only so repeats can
+// take the whole-query fast path). A fully warm execution must report
+// zero misses.
+func (sc *segCache) publish(seg paths.Path, reversed bool, rel *bitset.HybridRelation) {
+	if sc == nil || len(seg) < 2 {
+		return
+	}
+	sc.c.Put(seg, reversed, rel)
+}
+
+// counters returns the execution's hit/miss tallies (zero for the
+// cache-disabled nil view).
+func (sc *segCache) counters() (hits, misses int) {
+	if sc == nil {
+		return 0, 0
+	}
+	return sc.hits, sc.misses
+}

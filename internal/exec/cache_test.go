@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/paths"
+	"repro/internal/relcache"
+)
+
+// TestExecutePlanCacheEquivalence pins the cached executor bit-identical
+// to the uncached one: a cold pass (empty cache) must match the uncached
+// run in relation, result, and stats; a warm pass (same cache again) must
+// produce the identical relation via hits.
+func TestExecutePlanCacheEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		vertices := 2 + rng.Intn(100)
+		labels := 1 + rng.Intn(4)
+		edges := 1 + rng.Intn(6*vertices)
+		g := randomGraph(int64(trial), vertices, labels, edges)
+		for _, density := range []float64{0, 1e-9, 1.0} {
+			k := 1 + rng.Intn(4)
+			p := make(paths.Path, k)
+			for i := range p {
+				p[i] = rng.Intn(labels)
+			}
+			for s := 0; s < k; s++ {
+				want, wantSt := ExecutePlan(g, p, Plan{Start: s}, Options{DensityThreshold: density})
+				cache := relcache.New(relcache.Options{})
+				opt := Options{DensityThreshold: density, Cache: cache}
+
+				cold, coldSt := ExecutePlan(g, p, Plan{Start: s}, opt)
+				if !cold.Equal(want) || coldSt.Result != wantSt.Result {
+					t.Fatalf("trial %d path %v start %d: cold cached run differs", trial, p, s)
+				}
+				if coldSt.Work != wantSt.Work || len(coldSt.Intermediates) != len(wantSt.Intermediates) {
+					t.Fatalf("trial %d path %v start %d: cold stats differ: work %d vs %d",
+						trial, p, s, coldSt.Work, wantSt.Work)
+				}
+				if coldSt.CacheHits != 0 {
+					t.Fatalf("trial %d path %v start %d: cold run hit %d times", trial, p, s, coldSt.CacheHits)
+				}
+				// Exactly one miss per composed step: the forward
+				// whole-query republish of leftward plans is derived, not
+				// computed, and must not inflate the tally.
+				if k >= 2 && coldSt.CacheMisses != k-1 {
+					t.Fatalf("trial %d path %v start %d: cold run counted %d misses, want %d",
+						trial, p, s, coldSt.CacheMisses, k-1)
+				}
+
+				warm, warmSt := ExecutePlan(g, p, Plan{Start: s}, opt)
+				if !warm.Equal(want) || warmSt.Result != wantSt.Result {
+					t.Fatalf("trial %d path %v start %d: warm cached run differs", trial, p, s)
+				}
+				if k >= 2 {
+					// The whole query was published cold, so the warm run
+					// takes the fast path: one hit, nothing materialized.
+					if warmSt.CacheHits != 1 || warmSt.Work != 0 || len(warmSt.Intermediates) != 0 {
+						t.Fatalf("trial %d path %v start %d: warm fast path not taken: %+v",
+							trial, p, s, warmSt)
+					}
+					// Structural identity, not just set equality: every row
+					// representation must match the computed relation's.
+					for v := 0; v < vertices; v++ {
+						if warm.RowDense(v) != want.RowDense(v) || warm.RowCount(v) != want.RowCount(v) {
+							t.Fatalf("trial %d path %v start %d: adopted row %d differs structurally",
+								trial, p, s, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecutePlanCacheCrossPlan checks canonicalization across plans and
+// queries: segments cached by one plan are adopted by other plans and
+// other queries sharing the label subsequence, and never corrupt results.
+func TestExecutePlanCacheCrossPlan(t *testing.T) {
+	g := randomGraph(7, 60, 3, 240)
+	cache := relcache.New(relcache.Options{})
+	opt := Options{Cache: cache}
+	queries := []paths.Path{
+		{0, 1, 2},
+		{1, 2, 0}, // shares subsequence {1,2} with the first
+		{0, 1, 2, 0},
+		{2, 2},
+		{0, 1, 2}, // repeat: full fast path
+	}
+	for qi, p := range queries {
+		for s := 0; s < len(p); s++ {
+			want, wantSt := ExecutePlan(g, p, Plan{Start: s}, Options{})
+			got, gotSt := ExecutePlan(g, p, Plan{Start: s}, opt)
+			if !got.Equal(want) || gotSt.Result != wantSt.Result {
+				t.Fatalf("query %d %v start %d: cached run diverged", qi, p, s)
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Fatal("workload with shared segments never hit")
+	}
+}
+
+// TestExecutePlanCacheDensityMismatch: entries cached under one density
+// regime must not be adopted by executions under another — they are
+// treated as misses and recomputed, keeping results bit-identical.
+func TestExecutePlanCacheDensityMismatch(t *testing.T) {
+	g := randomGraph(11, 80, 2, 400)
+	p := paths.Path{0, 1, 0}
+	cache := relcache.New(relcache.Options{})
+	ExecutePlan(g, p, Plan{Start: 0}, Options{DensityThreshold: 1.0, Cache: cache})
+	want, _ := ExecutePlan(g, p, Plan{Start: 0}, Options{DensityThreshold: 1e-9})
+	got, st := ExecutePlan(g, p, Plan{Start: 0}, Options{DensityThreshold: 1e-9, Cache: cache})
+	if st.CacheHits != 0 {
+		t.Fatalf("adopted %d entries across density regimes", st.CacheHits)
+	}
+	if !got.Equal(want) {
+		t.Fatal("density-mismatched cache corrupted the result")
+	}
+	for v := 0; v < 80; v++ {
+		if got.RowDense(v) != want.RowDense(v) {
+			t.Fatalf("row %d representation leaked across regimes", v)
+		}
+	}
+}
+
+// TestExecuteTreeCacheEquivalence pins cached bushy execution: every tree
+// shape over length-4 queries, cold and warm, at workers 1 and 4, matches
+// the uncached run's relation and result.
+func TestExecuteTreeCacheEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(int64(100+trial), 2+rng.Intn(80), 1+rng.Intn(3), 1+rng.Intn(300))
+		labels := g.NumLabels()
+		p := make(paths.Path, 4)
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		for _, tree := range enumerateTestTrees(0, len(p)) {
+			want, wantSt := ExecuteTree(g, p, tree, Options{})
+			cache := relcache.New(relcache.Options{})
+			for _, workers := range []int{1, 4} {
+				opt := Options{Workers: workers, Cache: cache}
+				rel, st := ExecuteTree(g, p, tree, opt)
+				if !rel.Equal(want) || st.Result != wantSt.Result {
+					t.Fatalf("trial %d tree %s workers %d: cached tree run diverged",
+						trial, tree.Describe(len(p)), workers)
+				}
+			}
+			// Second pass on the warm cache: join nodes adopt whole
+			// segments.
+			rel, st := ExecuteTree(g, p, tree, Options{Cache: cache})
+			if !rel.Equal(want) || st.Result != wantSt.Result {
+				t.Fatalf("trial %d tree %s: warm tree run diverged", trial, tree.Describe(len(p)))
+			}
+			if st.CacheHits == 0 {
+				t.Fatalf("trial %d tree %s: warm tree run never hit", trial, tree.Describe(len(p)))
+			}
+		}
+	}
+}
+
+// enumerateTestTrees mirrors the experiments' tree enumeration for the
+// equivalence suite.
+func enumerateTestTrees(lo, hi int) []*PlanTree {
+	var out []*PlanTree
+	for s := lo; s < hi; s++ {
+		out = append(out, &PlanTree{Lo: lo, Hi: hi, Start: s})
+	}
+	for m := lo + 1; m < hi; m++ {
+		for _, l := range enumerateTestTrees(lo, m) {
+			for _, r := range enumerateTestTrees(m, hi) {
+				out = append(out, &PlanTree{Lo: lo, Hi: hi, Start: -1, Left: l, Right: r})
+			}
+		}
+	}
+	return out
+}
+
+// constEstimator estimates every segment at a fixed volume — enough to
+// make the cache-aware DP's arithmetic checkable by hand.
+func constEstimator(v float64) Estimator {
+	return EstimatorFunc(func(paths.Path) float64 { return v })
+}
+
+// TestCostTreeCacheAware: with every segment estimated at 10, a length-4
+// query costs 30 under any zig-zag plan and 40 under the best bushy
+// split, so linear wins cold. Marking the two halves cached zeroes their
+// build cost, making the balanced join (0+0+10+10 = 20) the winner —
+// the PR-4 "bushy never wins" outcome flips exactly when segments are
+// reusable.
+func TestCostTreeCacheAware(t *testing.T) {
+	p := paths.Path{0, 1, 2, 3}
+	cold := Planner{Est: constEstimator(10)}
+	tree, cost := cold.ChooseTreeWithCost(p)
+	if !tree.IsLeaf() || cost != 30 {
+		t.Fatalf("cold planner chose %s at %v, want linear at 30", tree.Describe(4), cost)
+	}
+	warm := Planner{Est: constEstimator(10), Cached: func(seg paths.Path) bool {
+		return len(seg) == 2
+	}}
+	tree, cost = warm.ChooseTreeWithCost(p)
+	if tree.IsLeaf() || cost != 20 {
+		t.Fatalf("warm planner chose %s at %v, want balanced join at 20", tree.Describe(4), cost)
+	}
+	if tree.Left.Hi != 2 {
+		t.Fatalf("warm planner split at %d, want 2", tree.Left.Hi)
+	}
+	// A fully cached query is a free leaf — the fast path beats any join.
+	full := Planner{Est: constEstimator(10), Cached: func(paths.Path) bool { return true }}
+	tree, cost = full.ChooseTreeWithCost(p)
+	if !tree.IsLeaf() || cost != 0 {
+		t.Fatalf("fully cached planner chose %s at %v, want free leaf", tree.Describe(4), cost)
+	}
+}
+
+// TestExecuteTreeCacheAwarePlansMatch runs the planner's cache-aware
+// choice end to end on a real graph: whatever tree the warm DP picks,
+// executing it with the warm cache yields the same relation as the cold
+// linear plan.
+func TestExecuteTreeCacheAwarePlansMatch(t *testing.T) {
+	g := randomGraph(13, 90, 3, 500)
+	p := paths.Path{0, 1, 2, 0}
+	cache := relcache.New(relcache.Options{})
+	opt := Options{Cache: cache}
+	want, _ := ExecutePlan(g, p, Plan{Start: 0}, Options{})
+
+	// Warm the halves the way a workload would: execute them as queries.
+	ExecutePlan(g, p[:2], Plan{Start: 0}, opt)
+	ExecutePlan(g, p[2:], Plan{Start: 0}, opt)
+
+	pl := Planner{
+		Est:    EstimatorFunc(func(seg paths.Path) float64 { return float64(len(seg) * 100) }),
+		Cached: func(seg paths.Path) bool { return cache.Contains(seg, false) },
+	}
+	tree := pl.ChooseTree(p)
+	if tree.IsLeaf() {
+		t.Fatalf("warm cache did not flip the plan bushy: %s", tree.Describe(len(p)))
+	}
+	rel, st := ExecuteTree(g, p, tree, opt)
+	if !rel.Equal(want) {
+		t.Fatal("cache-aware bushy plan produced a different relation")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("cache-aware bushy plan never adopted the warmed halves")
+	}
+}

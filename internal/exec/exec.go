@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/paths"
+	"repro/internal/relcache"
 )
 
 // Direction is one of the two endpoint join orders for a path query. It
@@ -85,6 +86,19 @@ type Options struct {
 	// another performance-only knob. Relations too small to shard
 	// profitably execute sequentially regardless.
 	Workers int
+	// Cache is the shared segment-relation cache (nil disables caching).
+	// Execution consults it at every segment boundary: a segment of
+	// length ≥ 2 whose relation is already cached — by an earlier query
+	// of the workload, an earlier step of this query, or another worker
+	// running concurrently — is adopted by copy instead of composed, and
+	// every freshly composed segment is published back. Adoption is
+	// bit-identical to recomputation (entries from a different universe
+	// or density regime are ignored, and relation construction is
+	// deterministic), so hit/miss order never changes results — only
+	// Stats.CacheHits/CacheMisses and, on a whole-query hit, the
+	// intermediate bookkeeping. A cache is bound to one graph; sharing
+	// it across graphs returns wrong relations.
+	Cache *relcache.Cache
 }
 
 // Stats reports what an execution actually did.
@@ -110,6 +124,14 @@ type Stats struct {
 	Work int64
 	// Result is |ℓ(G)|, identical for every plan.
 	Result int64
+	// CacheHits and CacheMisses count the execution's segment-cache
+	// traffic when Options.Cache is set (both zero otherwise): a hit is a
+	// segment adopted from the cache instead of composed, a miss is a
+	// cacheable segment (length ≥ 2) that had to be computed and was
+	// published back. A whole-query hit short-circuits execution
+	// entirely — then Intermediates is empty and Work 0, because nothing
+	// intermediate was materialized.
+	CacheHits, CacheMisses int
 }
 
 // Execute evaluates p over g with the endpoint plan of the given direction
@@ -148,37 +170,68 @@ func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.Hy
 	}
 	st := Stats{Plan: plan}
 	n := g.NumVertices()
+	sc := newSegCache(opt.Cache, n, opt.DensityThreshold)
+	// Whole-query fast path: a workload that repeats this exact query (or
+	// a bushy plan that already joined these labels) left the finished
+	// relation in the cache — adopt it without materializing anything.
+	var buf *bitset.HybridRelation
+	if sc != nil && k >= 2 {
+		buf = bitset.NewHybrid(n, opt.DensityThreshold)
+		if sc.adopt(p, false, buf) {
+			st.CacheHits, st.CacheMisses = sc.counters()
+			st.Result = buf.Pairs()
+			return buf, st
+		}
+	}
 	cur := bitset.HybridFromCSR(g.LabelOperand(p[plan.Start]), opt.DensityThreshold)
 	if k == 1 {
 		st.Result = cur.Pairs()
 		return cur, st
 	}
-	buf := bitset.NewHybrid(n, opt.DensityThreshold)
+	if buf == nil {
+		buf = bitset.NewHybrid(n, opt.DensityThreshold)
+	}
 	stp := newStepper(n, opt.Workers)
-	// Grow rightward: cur holds the segment p[Start:j).
+	// Grow rightward: cur holds the segment p[Start:j). Each finished
+	// segment is adopted from the cache when available and published when
+	// not, so the recorded intermediates — every segment gets materialized
+	// either way — are identical to an uncached run.
 	for j := plan.Start + 1; j < k; j++ {
 		st.Intermediates = append(st.Intermediates, cur.Pairs())
-		stp.compose(cur, buf, g.LabelOperand(p[j]))
+		if seg := p[plan.Start : j+1]; !sc.adopt(seg, false, buf) {
+			stp.compose(cur, buf, g.LabelOperand(p[j]))
+			sc.put(seg, false, buf)
+		}
 		cur, buf = buf, cur
 	}
 	// Grow leftward on the reversed relation: prepending label l to a
 	// segment is composing the reversed segment with l's predecessor
 	// operand. Reversal is linear and does not change Pairs, so the
-	// recorded intermediates are still segment selectivities.
+	// recorded intermediates are still segment selectivities. Leftward
+	// segments are cached in their reversed orientation — a different
+	// pair set than the forward segment, hence the direction key.
 	if plan.Start > 0 {
 		cur.ReverseInto(buf)
 		cur, buf = buf, cur
 		for i := plan.Start - 1; i >= 0; i-- {
 			st.Intermediates = append(st.Intermediates, cur.Pairs())
-			stp.compose(cur, buf, g.PredecessorOperand(p[i]))
+			if seg := p[i:]; !sc.adopt(seg, true, buf) {
+				stp.compose(cur, buf, g.PredecessorOperand(p[i]))
+				sc.put(seg, true, buf)
+			}
 			cur, buf = buf, cur
 		}
 		cur.ReverseInto(buf)
 		cur, buf = buf, cur
+		// Publish the whole query in forward orientation so repeats take
+		// the fast path no matter which plan produced the relation. It
+		// was derived by reversal, not composed, so it counts no miss.
+		sc.publish(p, false, cur)
 	}
 	for _, v := range st.Intermediates {
 		st.Work += v
 	}
+	st.CacheHits, st.CacheMisses = sc.counters()
 	st.Result = cur.Pairs()
 	return cur, st
 }

@@ -26,6 +26,18 @@ func (f EstimatorFunc) Estimate(p paths.Path) float64 { return f(p) }
 // estimator quality turns into plan quality.
 type Planner struct {
 	Est Estimator
+	// Cached, when non-nil, reports whether a segment's finished relation
+	// (forward orientation) is already materialized in the execution
+	// layer's segment-relation cache (internal/relcache). The bushy DP
+	// (CostTree/ChooseTree) then treats such segments as zero-build-cost
+	// leaves — the executor adopts them whole — which is what lets bushy
+	// trees win on warm workloads: a join of two cached segments costs
+	// only its consume estimates, while linear growth still pays for
+	// every uncached intermediate. The probe must not perturb the cache
+	// (relcache.Cache.Contains is side-effect-free). Plan choice becomes
+	// cache-state-dependent under this field; results never do — every
+	// plan produces the identical relation.
+	Cached func(p paths.Path) bool
 }
 
 // PlanCost returns the estimated intermediate volume of executing p with

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/pathsel"
+)
+
+// TestRunCacheBenchSchema runs the cache bench at a tiny scale and pins
+// the report's header and section structure — the contract the committed
+// BENCH_cache.json and cmd/benchdiff's gate consume.
+func TestRunCacheBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf bench measurement in -short mode")
+	}
+	rep, err := RunCacheBench(0.01, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	want := map[string]int{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+		want[r.Name]++
+		switch r.Name {
+		case "cache/cold":
+			if r.Speedup != 0 {
+				t.Fatalf("cold row is the baseline and must carry no ratio: %+v", r)
+			}
+		case "cache/populate", "cache/warm":
+			if r.Speedup <= 0 {
+				t.Fatalf("%s row missing its speedup vs cold: %+v", r.Name, r)
+			}
+		default:
+			t.Fatalf("unexpected section %q", r.Name)
+		}
+	}
+	for _, name := range []string{"cache/cold", "cache/populate", "cache/warm"} {
+		if want[name] != len(cacheBenchDatasets) {
+			t.Fatalf("section %q appears %d times, want one per dataset (%d)",
+				name, want[name], len(cacheBenchDatasets))
+		}
+	}
+}
+
+// TestCacheBenchWorkloadRepeats pins the workload's defining property:
+// every query recurs, so a warmed cache serves every pass entirely from
+// whole-query hits.
+func TestCacheBenchWorkloadRepeats(t *testing.T) {
+	labels := []string{"a", "b", "c", "d", "e"}
+	qs := CacheBenchWorkload(labels, CacheBenchQueryCount)
+	if len(qs) != CacheBenchQueryCount {
+		t.Fatalf("workload size %d", len(qs))
+	}
+	distinct := map[pathsel.Query]int{}
+	for _, q := range qs {
+		distinct[q]++
+	}
+	if len(distinct) != 8 {
+		t.Fatalf("workload has %d distinct queries, want the 8-query pool", len(distinct))
+	}
+	for q, n := range distinct {
+		if n < 2 {
+			t.Fatalf("query %q does not recur (%d occurrence)", q, n)
+		}
+	}
+	// Few-label vocabularies must still produce valid paths.
+	two := CacheBenchWorkload([]string{"x", "y"}, 10)
+	for _, q := range two {
+		if q == "" {
+			t.Fatal("empty query from a two-label vocabulary")
+		}
+	}
+}
+
+// TestCacheBenchWarmBeatsCold is the end-to-end sanity check of the
+// artifact's claim at test scale: a warmed persistent cache must serve
+// the repeated workload strictly faster than the uncached baseline. The
+// committed artifact asserts ≥ 2× at bench scale; at the tiny test scale
+// we only require a genuine win to keep the test robust.
+func TestCacheBenchWarmBeatsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive measurement in -short mode")
+	}
+	rows, err := cacheBenchResults("SNAP-FF", 0.02, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Name == "cache/warm" && r.Speedup <= 1 {
+			t.Fatalf("warm pass not faster than cold at all: %+v", r)
+		}
+	}
+}

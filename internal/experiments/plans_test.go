@@ -36,6 +36,12 @@ func TestPlanQuality(t *testing.T) {
 		if c.OracleBushyWins != cells[0].OracleBushyWins {
 			t.Fatalf("OracleBushyWins is workload-level and must not vary by method: %+v", c)
 		}
+		if c.CacheBushyWins < 0 || c.CacheBushyWins > 1 {
+			t.Fatalf("cache bushy wins %v outside [0,1]: %+v", c.CacheBushyWins, c)
+		}
+		if c.CacheBushyWins != cells[0].CacheBushyWins {
+			t.Fatalf("CacheBushyWins is workload-level and must not vary by method: %+v", c)
+		}
 	}
 	var buf bytes.Buffer
 	if err := WritePlanCSV(&buf, cells); err != nil {

@@ -1,0 +1,326 @@
+// Package relcache is the workload-level segment-relation cache: a
+// sharded, size-bounded LRU of materialized label-segment relations
+// (bitset.HybridRelation), keyed by the canonical label sequence plus
+// build direction. The executor (internal/exec) consults it at every
+// segment boundary — a query that re-walks a label subsequence another
+// query already materialized adopts the finished relation instead of
+// recomputing it — and the batch API (pathsel.Estimator.ExecuteBatch)
+// runs a whole workload through one shared cache, which is where the
+// amortization pays: real path-query workloads repeat label subsequences
+// constantly.
+//
+// # Immutability and the pools
+//
+// Execution relations live in per-call pooled buffers that are reused and
+// rewritten step after step, so the cache can alias nothing: Put clones
+// the relation into a private exact-size copy (copy-on-adopt going in),
+// and consumers copy a Get result into their own pooled buffer before
+// touching it (copy-on-adopt coming out). Cached relations are therefore
+// immutable for their whole lifetime, which is what makes a cache hit
+// bit-identical to recomputation: relation construction is deterministic
+// and representation (sparse/dense per row, active order) is a pure
+// function of the pair set and the promotion limit, so a copied cache
+// entry is structurally indistinguishable from a freshly built relation.
+//
+// # Keys and eviction
+//
+// Keys are position-independent: the segment p[2:4) of one query and
+// p[0:2) of another share an entry when their label sequences match.
+// Direction is part of the key because the executor's leftward growth
+// operates on reversed relations — reversed(p[i:k)) is a different pair
+// set than p[i:k). Entries are evicted least-recently-used per shard,
+// with cost accounted in exact bytes (bitset.HybridRelation.MemSize), so
+// the bound is a real memory budget, not an entry count. Relations larger
+// than a shard's whole budget are rejected outright rather than flushing
+// the shard.
+//
+// A cache is bound to one graph: keys carry no graph identity, so sharing
+// a cache across graphs returns wrong relations. Owners (an Estimator, a
+// batch run) must create one cache per graph.
+package relcache
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/paths"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMaxBytes is the default total byte budget (64 MiB).
+	DefaultMaxBytes = 64 << 20
+	// DefaultShards is the default shard count. Shards bound lock
+	// contention when batch workers execute queries concurrently; each
+	// shard owns 1/DefaultShards of the byte budget.
+	DefaultShards = 8
+	// maxShards caps the shard count: beyond this, per-shard budgets get
+	// so small that sharding evicts entries a unified cache would keep.
+	maxShards = 256
+)
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes is the total byte budget across all shards (≤ 0 selects
+	// DefaultMaxBytes). Entry cost is the cached relation's exact
+	// MemSize plus key and bookkeeping overhead.
+	MaxBytes int64
+	// Shards is the number of independently locked LRU shards (≤ 0
+	// selects DefaultShards). Rounded up to a power of two and capped at
+	// 256.
+	Shards int
+}
+
+// Stats is a point-in-time snapshot of the cache's counters. Hits,
+// Misses, Puts, Evictions, and Rejected are cumulative; Entries, Bytes,
+// and MaxBytes describe current occupancy.
+type Stats struct {
+	Hits      uint64 // Get calls that returned a relation
+	Misses    uint64 // Get calls that found nothing adoptable
+	Puts      uint64 // successful inserts (including overwrites)
+	Evictions uint64 // entries evicted to make room
+	Rejected  uint64 // Put calls refused (relation larger than a shard budget)
+	Entries   int    // live entries right now
+	Bytes     int64  // accounted bytes right now
+	MaxBytes  int64  // configured budget
+}
+
+// entry is one cached relation on a shard's LRU list.
+type entry struct {
+	key        string
+	rel        *bitset.HybridRelation
+	cost       int64
+	prev, next *entry // LRU list: front = most recent, back = next victim
+}
+
+// shard is one independently locked LRU.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	front   *entry // most recently used
+	back    *entry // least recently used
+	bytes   int64
+	cap     int64
+}
+
+// Cache is the sharded segment-relation cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint32
+
+	hits, misses, puts, evictions, rejected atomic.Uint64
+}
+
+// New returns an empty cache with the given budget and shard count
+// (zero-valued Options select the defaults).
+func New(opt Options) *Cache {
+	maxBytes := opt.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	n := opt.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{shards: make([]shard, pow), mask: uint32(pow - 1)}
+	per := maxBytes / int64(pow)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].cap = per
+	}
+	return c
+}
+
+// key builds the canonical cache key: one direction byte followed by the
+// label sequence varint-encoded. Canonical means position-independent —
+// equal label subsequences key the same entry wherever they sit in their
+// queries — and prefix-free per direction (varints self-delimit).
+func key(p paths.Path, reversed bool) string {
+	buf := make([]byte, 1, 1+2*len(p))
+	if reversed {
+		buf[0] = 'R'
+	} else {
+		buf[0] = 'F'
+	}
+	for _, l := range p {
+		buf = binary.AppendUvarint(buf, uint64(l))
+	}
+	return string(buf)
+}
+
+// shardFor hashes a key to its shard (FNV-1a).
+func (c *Cache) shardFor(k string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the cached relation for the segment, or (nil, false). The
+// returned relation is shared and immutable: the caller must copy it
+// (bitset.HybridRelation.CopyInto) before any mutation, and must verify
+// it matches the caller's representation regime (Universe, SparseMax)
+// before adopting it.
+func (c *Cache) Get(p paths.Path, reversed bool) (*bitset.HybridRelation, bool) {
+	k := key(p, reversed)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	if ok {
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.rel, true
+}
+
+// Contains reports whether the segment is cached, without touching the
+// LRU order or the hit/miss counters — the planner's cost probe
+// (exec.Planner.Cached) must not perturb recency while enumerating O(k²)
+// candidate segments.
+func (c *Cache) Contains(p paths.Path, reversed bool) bool {
+	k := key(p, reversed)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	_, ok := sh.entries[k]
+	sh.mu.Unlock()
+	return ok
+}
+
+// entryOverhead approximates an entry's bookkeeping bytes beyond the
+// relation itself: the entry struct, the map slot, and the key header.
+const entryOverhead = 96
+
+// Put stores the segment's relation, cloning it so the cache entry stays
+// valid while the caller's pooled buffers are reused (the clone is
+// exact-size, so accounting is tight). An existing entry under the same
+// key is replaced. Relations whose cost exceeds one shard's whole budget
+// are rejected — caching them would flush everything else for an entry
+// that cannot amortize — and the cost is priced from the source relation
+// (CloneMemSize) before any copying, so an oversized relation published
+// on every query of a workload costs a size computation, not a discarded
+// multi-megabyte clone each time.
+func (c *Cache) Put(p paths.Path, reversed bool, rel *bitset.HybridRelation) {
+	k := key(p, reversed)
+	cost := int64(rel.CloneMemSize()) + int64(len(k)) + entryOverhead
+	sh := c.shardFor(k)
+	if cost > sh.cap {
+		c.rejected.Add(1)
+		return
+	}
+	clone := rel.Clone()
+	sh.mu.Lock()
+	if old, ok := sh.entries[k]; ok {
+		sh.unlink(old)
+		sh.bytes -= old.cost
+		delete(sh.entries, k)
+	}
+	var evicted uint64
+	for sh.bytes+cost > sh.cap && sh.back != nil {
+		victim := sh.back
+		sh.unlink(victim)
+		sh.bytes -= victim.cost
+		delete(sh.entries, victim.key)
+		evicted++
+	}
+	e := &entry{key: k, rel: clone, cost: cost}
+	sh.entries[k] = e
+	sh.pushFront(e)
+	sh.bytes += cost
+	sh.mu.Unlock()
+	c.puts.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats snapshots the counters and occupancy. Occupancy is summed shard
+// by shard without a global lock, so a concurrent snapshot is internally
+// consistent per shard, not across shards — fine for reporting.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		st.MaxBytes += sh.cap
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// pushFront links e as the most recently used entry. Caller holds mu.
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.front
+	if sh.front != nil {
+		sh.front.prev = e
+	}
+	sh.front = e
+	if sh.back == nil {
+		sh.back = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks e most recently used. Caller holds mu.
+func (sh *shard) moveToFront(e *entry) {
+	if sh.front == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,283 @@
+package relcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/paths"
+)
+
+// rel builds a small relation over n vertices with the given edges.
+func rel(n int, edges ...[2]int) *bitset.HybridRelation {
+	bysrc := map[int][]int32{}
+	for _, e := range edges {
+		bysrc[e[0]] = append(bysrc[e[0]], int32(e[1]))
+	}
+	op := bitset.CSROperand{N: n, Offsets: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		op.Offsets[v+1] = op.Offsets[v]
+		seen := map[int32]bool{}
+		for _, t := range bysrc[v] {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+		}
+		var ts []int32
+		for t := range seen {
+			ts = append(ts, t)
+		}
+		for i := range ts { // insertion sort: tiny lists
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+		for _, t := range ts {
+			op.Targets = append(op.Targets, t)
+			op.Offsets[v+1]++
+		}
+	}
+	return bitset.HybridFromCSR(op, 0)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(Options{})
+	p := paths.Path{1, 2, 3}
+	r := rel(16, [2]int{0, 1}, [2]int{3, 7})
+	if _, ok := c.Get(p, false); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put(p, false, r)
+	got, ok := c.Get(p, false)
+	if !ok || !got.Equal(r) {
+		t.Fatal("round trip lost the relation")
+	}
+	// Direction is part of the key.
+	if _, ok := c.Get(p, true); ok {
+		t.Fatal("reversed lookup hit the forward entry")
+	}
+	// Different label sequence, different entry.
+	if _, ok := c.Get(paths.Path{1, 2, 4}, false); ok {
+		t.Fatal("wrong labels hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	// Equal label subsequences share an entry regardless of the slice they
+	// came from, and multi-byte labels never collide with label pairs.
+	c := New(Options{})
+	long := paths.Path{9, 1, 2, 9}
+	c.Put(long[1:3], false, rel(8, [2]int{0, 1}))
+	if _, ok := c.Get(paths.Path{1, 2}, false); !ok {
+		t.Fatal("same labels from a different slice missed")
+	}
+	// Varint encoding is self-delimiting: {300} must not alias {44, 2} or
+	// any other pair that would collide under naive byte concatenation.
+	c.Put(paths.Path{300}, false, rel(8, [2]int{1, 2}))
+	if _, ok := c.Get(paths.Path{172, 2}, false); ok {
+		t.Fatal("multi-byte label aliased a label pair")
+	}
+}
+
+func TestPutClonesAndGetIsImmutable(t *testing.T) {
+	c := New(Options{})
+	p := paths.Path{4, 5}
+	r := rel(16, [2]int{2, 3}, [2]int{2, 4})
+	c.Put(p, false, r)
+	r.Reset() // caller's pooled buffer is reused...
+	got, ok := c.Get(p, false)
+	if !ok || got.Pairs() != 2 || !got.Contains(2, 3) {
+		t.Fatal("cache entry aliased the caller's buffer")
+	}
+}
+
+func TestLRUEvictionOrderAndAccounting(t *testing.T) {
+	// Single shard so eviction order is observable. Budget fits ~3 of the
+	// identical-size entries.
+	base := rel(64, [2]int{0, 1}).MemSize()
+	c := New(Options{MaxBytes: int64(base+200) * 3, Shards: 1})
+	ps := []paths.Path{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	for _, p := range ps[:3] {
+		c.Put(p, false, rel(64, [2]int{0, 1}))
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("expected 3 entries, have %d (budget %d, entry ~%d)", got, (base+200)*3, base)
+	}
+	// Touch {1,1} so {2,2} becomes the LRU victim.
+	if _, ok := c.Get(ps[0], false); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.Put(ps[3], false, rel(64, [2]int{0, 1}))
+	if _, ok := c.Get(ps[1], false); ok {
+		t.Fatal("LRU victim {2,2} survived")
+	}
+	for _, p := range []paths.Path{ps[0], ps[2], ps[3]} {
+		if _, ok := c.Get(p, false); !ok {
+			t.Fatalf("entry %v wrongly evicted", p)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("accounting over budget: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	small := New(Options{MaxBytes: 128, Shards: 1})
+	var edges [][2]int
+	for i := 0; i < 60; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % 64})
+	}
+	small.Put(paths.Path{1, 2}, false, rel(64, edges...))
+	if small.Len() != 0 {
+		t.Fatal("oversize entry inserted")
+	}
+	st := small.Stats()
+	if st.Rejected != 1 || st.Puts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	c := New(Options{Shards: 1})
+	p := paths.Path{7, 8}
+	c.Put(p, false, rel(16, [2]int{0, 1}))
+	c.Put(p, false, rel(16, [2]int{0, 1}, [2]int{0, 2}))
+	got, ok := c.Get(p, false)
+	if !ok || got.Pairs() != 2 {
+		t.Fatal("overwrite did not replace the entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate entries after overwrite: %d", c.Len())
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(Options{})
+	p := paths.Path{1}
+	if c.Contains(p, false) {
+		t.Fatal("empty cache contains")
+	}
+	c.Put(p, false, rel(8, [2]int{0, 1}))
+	if !c.Contains(p, false) || c.Contains(p, true) {
+		t.Fatal("Contains wrong")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains touched hit/miss counters: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				p := paths.Path{rng.Intn(8), rng.Intn(8)}
+				if rng.Intn(2) == 0 {
+					c.Put(p, rng.Intn(2) == 0, rel(32, [2]int{rng.Intn(32), rng.Intn(32)}))
+				} else if got, ok := c.Get(p, rng.Intn(2) == 0); ok && got.Universe() != 32 {
+					t.Error("corrupt entry")
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("over budget after concurrent load: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+// checkInvariants walks every shard and verifies the LRU list and byte
+// accounting agree with the map.
+func checkInvariants(t *testing.T, c *Cache) {
+	t.Helper()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var bytes int64
+		n := 0
+		var prev *entry
+		for e := sh.front; e != nil; e = e.next {
+			if e.prev != prev {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: broken back-link at %q", i, e.key)
+			}
+			if sh.entries[e.key] != e {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: list entry %q not in map", i, e.key)
+			}
+			bytes += e.cost
+			n++
+			prev = e
+		}
+		if sh.back != prev {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d: back pointer stale", i)
+		}
+		if n != len(sh.entries) || bytes != sh.bytes {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d: list (%d entries, %d bytes) vs map (%d) / accounted (%d)",
+				i, n, bytes, len(sh.entries), sh.bytes)
+		}
+		if sh.bytes > sh.cap {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d: %d bytes over cap %d", i, sh.bytes, sh.cap)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// FuzzCacheInvariants drives a random Put/Get sequence and checks the LRU
+// list, map, and byte accounting stay mutually consistent and under
+// budget at every step.
+func FuzzCacheInvariants(f *testing.F) {
+	f.Add(int64(1), uint16(4096), uint8(1), []byte{0, 1, 2, 3})
+	f.Add(int64(7), uint16(600), uint8(3), []byte{9, 9, 9, 1, 250})
+	f.Fuzz(func(t *testing.T, seed int64, budget uint16, shards uint8, ops []byte) {
+		c := New(Options{MaxBytes: int64(budget), Shards: int(shards)})
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			p := paths.Path{int(op) % 5, int(op) / 5 % 5}
+			switch op % 3 {
+			case 0:
+				c.Put(p, op%2 == 0, rel(16+rng.Intn(32), [2]int{rng.Intn(16), rng.Intn(16)}))
+			case 1:
+				c.Get(p, op%2 == 0)
+			default:
+				c.Contains(p, false)
+			}
+			checkInvariants(t, c)
+		}
+		st := c.Stats()
+		if st.Entries != c.Len() {
+			t.Fatalf("Stats.Entries %d != Len %d", st.Entries, c.Len())
+		}
+	})
+}
+
+func TestStatsString(t *testing.T) {
+	// Smoke: Stats fields render; guards against accidental field removal.
+	c := New(Options{MaxBytes: 1 << 16, Shards: 2})
+	c.Put(paths.Path{1, 2}, false, rel(16, [2]int{0, 1}))
+	c.Get(paths.Path{1, 2}, false)
+	s := fmt.Sprintf("%+v", c.Stats())
+	if s == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,197 @@
+package pathsel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/paths"
+	"repro/internal/relcache"
+)
+
+// DefaultCacheBytes is the segment-relation cache budget ExecuteBatch
+// uses when neither Config.CacheBytes nor BatchOptions.CacheBytes set
+// one (64 MiB).
+const DefaultCacheBytes = relcache.DefaultMaxBytes
+
+// Query is one path query of a batch workload: a slash-separated
+// label-name path, the same syntax ExecuteQuery accepts (e.g.
+// "knows/likes/knows").
+type Query string
+
+// Queries converts a list of query strings into a batch workload.
+func Queries(qs ...string) []Query {
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query(q)
+	}
+	return out
+}
+
+// BatchOptions tunes one ExecuteBatch call.
+type BatchOptions struct {
+	// Workers is the number of queries executed concurrently (≤ 0 or 1
+	// runs the batch sequentially). Per-query results are bit-identical
+	// at every setting — concurrent queries share only the thread-safe
+	// segment cache, and adopting a cached relation is indistinguishable
+	// from recomputing it — so this is a throughput knob, not a semantic
+	// one. When Workers > 1, each query's own join steps run
+	// single-threaded (the batch already saturates the cores with whole
+	// queries); at Workers ≤ 1 each query parallelizes its join steps
+	// across Config.Workers as ExecuteQuery does.
+	Workers int
+	// CacheBytes chooses the batch's segment cache: > 0 runs the batch
+	// on a fresh private cache of that byte budget; 0 shares the
+	// estimator's persistent cache (Config.CacheBytes), falling back to
+	// a fresh DefaultCacheBytes-sized private cache when the estimator
+	// has none; < 0 disables caching entirely — the cold-baseline mode
+	// the cache benchmark measures against.
+	CacheBytes int64
+	// CacheShards is the shard count of a batch-private cache (≤ 0
+	// selects the default). Ignored when the batch shares the
+	// estimator's cache.
+	CacheShards int
+}
+
+// CacheStats reports a segment-relation cache's counters: cumulative
+// traffic (hits, misses, puts, evictions, rejected oversize entries) and
+// current occupancy (entries, bytes, budget).
+type CacheStats struct {
+	Hits, Misses, Puts, Evictions, Rejected uint64
+	Entries                                 int
+	Bytes, MaxBytes                         int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cacheStatsOf converts the internal counters to the public mirror.
+func cacheStatsOf(c *relcache.Cache) CacheStats {
+	st := c.Stats()
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+		Evictions: st.Evictions, Rejected: st.Rejected,
+		Entries: st.Entries, Bytes: st.Bytes, MaxBytes: st.MaxBytes,
+	}
+}
+
+// BatchQueryResult is one query's outcome within a batch.
+type BatchQueryResult struct {
+	// Query is the workload entry this result answers.
+	Query Query
+	// ExecStats is exactly what ExecuteQuery would report, including the
+	// query's own CacheHits/CacheMisses against the shared cache.
+	ExecStats
+}
+
+// BatchResult is a whole workload's outcome.
+type BatchResult struct {
+	// Results holds one entry per input query, in input order.
+	Results []BatchQueryResult
+	// Cache snapshots the batch's segment cache after the last query
+	// (zero-valued when the batch ran uncached). For a batch on the
+	// estimator's persistent cache the counters are cumulative across
+	// batches, not per-batch.
+	Cache CacheStats
+	// Cached reports whether a segment cache was in play at all.
+	Cached bool
+}
+
+// CacheStats exposes the estimator's persistent segment cache counters
+// (Config.CacheBytes). The second return is false when the estimator has
+// no persistent cache.
+func (e *Estimator) CacheStats() (CacheStats, bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return cacheStatsOf(e.cache), true
+}
+
+// ExecuteBatch plans and executes a whole workload of path queries
+// through one shared segment-relation cache, so label subsequences that
+// recur across the workload are materialized once and adopted everywhere
+// else — the amortization a per-query ExecuteQuery loop cannot get
+// (unless the estimator itself holds a persistent cache via
+// Config.CacheBytes, which ExecuteBatch then reuses and keeps warming).
+//
+// Every query is validated before anything executes, so a malformed
+// workload fails fast without partial results. Per-query results are
+// bit-identical to ExecuteQuery at every BatchOptions.Workers setting
+// and any cache state — caching and concurrency affect only throughput
+// and the per-query CacheHits/CacheMisses accounting. With
+// Config.BushyPlans set, plan *choice* is cache-aware (cached segments
+// are free to build), so a warm cache may pick different — cheaper —
+// plans than a cold one; the results stay identical because every plan
+// computes the same relation.
+func (e *Estimator) ExecuteBatch(queries []Query, opt BatchOptions) (*BatchResult, error) {
+	ps := make([]paths.Path, len(queries))
+	for i, q := range queries {
+		p, err := e.parseBounded(string(q))
+		if err != nil {
+			return nil, fmt.Errorf("pathsel: batch query %d: %w", i, err)
+		}
+		ps[i] = p
+	}
+
+	var cache *relcache.Cache
+	switch {
+	case opt.CacheBytes > 0:
+		cache = relcache.New(relcache.Options{MaxBytes: opt.CacheBytes, Shards: opt.CacheShards})
+	case opt.CacheBytes == 0 && e.cache != nil:
+		cache = e.cache
+	case opt.CacheBytes == 0:
+		cache = relcache.New(relcache.Options{MaxBytes: DefaultCacheBytes, Shards: opt.CacheShards})
+	}
+
+	g := e.gr.csr() // freeze once, before any worker goroutine exists
+	res := &BatchResult{Results: make([]BatchQueryResult, len(queries))}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	queryWorkers := e.cfg.Workers
+	if workers > 1 {
+		queryWorkers = 1
+	}
+	runOne := func(i int) {
+		st := e.executeParsed(g, ps[i], cache, queryWorkers)
+		res.Results[i] = BatchQueryResult{Query: queries[i], ExecStats: st}
+	}
+	if workers <= 1 {
+		for i := range ps {
+			runOne(i)
+		}
+	} else {
+		// Simple fan-out: workers drain a shared index stream. Each
+		// result lands in its own slot, so no two goroutines write the
+		// same memory.
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range ps {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	if cache != nil {
+		res.Cache = cacheStatsOf(cache)
+		res.Cached = true
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package pathsel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchTestGraph builds a random labeled graph through the public facade.
+func batchTestGraph(t testing.TB, seed int64, vertices, labels, edges int) *Graph {
+	names := make([]string, labels)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	g := NewGraph(vertices, names)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < edges; i++ {
+		if _, err := g.AddEdge(rng.Intn(vertices), names[rng.Intn(labels)], rng.Intn(vertices)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// batchWorkload samples a workload with repeated queries and shared
+// segments — the regime the cache exists for.
+func batchWorkload(rng *rand.Rand, labels []string, count, maxLen int) []Query {
+	pool := make([]string, 0, 8)
+	for len(pool) < 8 {
+		k := 2 + rng.Intn(maxLen-1)
+		q := labels[rng.Intn(len(labels))]
+		for i := 1; i < k; i++ {
+			q += "/" + labels[rng.Intn(len(labels))]
+		}
+		pool = append(pool, q)
+	}
+	out := make([]Query, count)
+	for i := range out {
+		out[i] = Query(pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+// TestExecuteBatchMatchesExecuteQuery pins the batch executor's per-query
+// results bit-identical to the per-query API, at every worker count 1–8,
+// regardless of cache hit/miss interleaving. Run with -race in CI, this
+// is the determinism property test of the batch layer.
+func TestExecuteBatchMatchesExecuteQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		g := batchTestGraph(t, int64(trial), 20+rng.Intn(60), 2+rng.Intn(3), 150+rng.Intn(200))
+		for _, bushy := range []bool{false, true} {
+			est, err := Build(g, Config{MaxPathLength: 3, Buckets: 8, BushyPlans: bushy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := batchWorkload(rng, g.Labels(), 30, 3)
+			// Reference: the uncached per-query API.
+			want := make([]int64, len(queries))
+			for i, q := range queries {
+				st, err := est.ExecuteQuery(string(q))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = st.Result
+			}
+			for workers := 1; workers <= 8; workers++ {
+				res, err := est.ExecuteBatch(queries, BatchOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Results) != len(queries) {
+					t.Fatalf("trial %d workers %d: %d results for %d queries",
+						trial, workers, len(res.Results), len(queries))
+				}
+				for i, r := range res.Results {
+					if r.Query != queries[i] {
+						t.Fatalf("trial %d workers %d: result %d answers %q, want %q",
+							trial, workers, i, r.Query, queries[i])
+					}
+					if r.Result != want[i] {
+						t.Fatalf("trial %d workers %d bushy %v: query %q result %d, want %d",
+							trial, workers, bushy, r.Query, r.Result, want[i])
+					}
+				}
+				if !res.Cached || res.Cache.Hits == 0 {
+					t.Fatalf("trial %d workers %d: repeated workload never hit the cache (stats %+v)",
+						trial, workers, res.Cache)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteBatchCacheModes covers the three BatchOptions.CacheBytes
+// regimes: private, shared-persistent, and disabled.
+func TestExecuteBatchCacheModes(t *testing.T) {
+	g := batchTestGraph(t, 5, 40, 3, 200)
+	queries := Queries("a/b", "b/c", "a/b", "a/b/c", "a/b/c")
+
+	// Disabled: no cache stats, still correct.
+	plain, err := Build(g, Config{MaxPathLength: 3, Buckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := plain.ExecuteBatch(queries, BatchOptions{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Cache.Hits != 0 {
+		t.Fatalf("uncached batch reported cache stats: %+v", cold.Cache)
+	}
+	for _, r := range cold.Results {
+		if r.CacheHits != 0 || r.CacheMisses != 0 {
+			t.Fatalf("uncached query reported cache traffic: %+v", r.ExecStats)
+		}
+	}
+
+	// Private default cache: repeats hit within the batch.
+	warm, err := plain.ExecuteBatch(queries, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached || warm.Cache.Hits == 0 {
+		t.Fatalf("default batch cache saw no hits: %+v", warm.Cache)
+	}
+	for i := range queries {
+		if warm.Results[i].Result != cold.Results[i].Result {
+			t.Fatalf("query %d: cached %d != uncached %d", i,
+				warm.Results[i].Result, cold.Results[i].Result)
+		}
+	}
+
+	// Persistent estimator cache: a second batch starts warm.
+	persistent, err := Build(g, Config{MaxPathLength: 3, Buckets: 8, CacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := persistent.CacheStats(); !ok {
+		t.Fatal("Config.CacheBytes did not create a persistent cache")
+	}
+	first, err := persistent.ExecuteBatch(queries, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := persistent.ExecuteBatch(queries, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache.Hits <= first.Cache.Hits {
+		t.Fatalf("persistent cache did not carry across batches: %d then %d hits",
+			first.Cache.Hits, second.Cache.Hits)
+	}
+	var hits int
+	for i, r := range second.Results {
+		hits += r.CacheHits
+		if r.Result != cold.Results[i].Result {
+			t.Fatalf("warm persistent query %d diverged", i)
+		}
+	}
+	if hits != len(queries) {
+		t.Fatalf("fully warm batch: %d whole-query hits, want %d", hits, len(queries))
+	}
+
+	// ExecuteQuery shares the persistent cache too.
+	st, err := persistent.ExecuteQuery("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.Work != 0 {
+		t.Fatalf("ExecuteQuery did not take the warm fast path: %+v", st)
+	}
+}
+
+// TestExecuteBatchValidation: a malformed workload fails fast, before
+// anything executes.
+func TestExecuteBatchValidation(t *testing.T) {
+	g := batchTestGraph(t, 6, 20, 2, 60)
+	est, err := Build(g, Config{MaxPathLength: 2, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.ExecuteBatch(Queries("a/b", "nope"), BatchOptions{}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, err := est.ExecuteBatch(Queries("a/b/a"), BatchOptions{}); err == nil {
+		t.Fatal("over-length query accepted")
+	}
+	res, err := est.ExecuteBatch(nil, BatchOptions{Workers: 4})
+	if err != nil || len(res.Results) != 0 {
+		t.Fatalf("empty workload: %v, %d results", err, len(res.Results))
+	}
+}
+
+// FuzzBatchCacheEquivalence is the batch determinism fuzz target: on an
+// arbitrary small graph and workload, batch execution — any worker count,
+// shared cache — must report exactly the per-query results of the
+// uncached ExecuteQuery loop, and a second (warm) pass must agree again.
+func FuzzBatchCacheEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(2), uint16(80), uint8(10), uint8(3))
+	f.Add(int64(9), uint8(50), uint8(4), uint16(300), uint8(20), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, vertices, labels uint8, edges uint16, count, workers uint8) {
+		v := 2 + int(vertices)%100
+		l := 1 + int(labels)%5
+		g := batchTestGraph(t, seed, v, l, 1+int(edges)%(4*v))
+		est, err := Build(g, Config{MaxPathLength: 3, Buckets: 6, BushyPlans: seed%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		queries := batchWorkload(rng, g.Labels(), 1+int(count)%24, 3)
+		want := make([]int64, len(queries))
+		for i, q := range queries {
+			st, err := est.ExecuteQuery(string(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = st.Result
+		}
+		w := 1 + int(workers)%8
+		for pass := 0; pass < 2; pass++ {
+			res, err := est.ExecuteBatch(queries, BatchOptions{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res.Results {
+				if r.Result != want[i] {
+					t.Fatalf("pass %d workers %d: query %q result %d, want %d",
+						pass, w, r.Query, r.Result, want[i])
+				}
+			}
+		}
+	})
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ordering"
 	"repro/internal/paths"
+	"repro/internal/relcache"
 )
 
 // Ordering method names.
@@ -220,6 +221,24 @@ type Config struct {
 	// produces identical results — this knob only changes which plan is
 	// chosen, and so how much intermediate work execution does.
 	BushyPlans bool
+	// CacheBytes, when > 0, gives the estimator a persistent
+	// segment-relation cache of that byte budget (internal/relcache):
+	// every ExecuteQuery and ExecuteBatch call then reuses label-segment
+	// relations materialized by earlier queries instead of recomputing
+	// them, trading memory for workload throughput. The cache is bound
+	// to this estimator's graph. 0 leaves per-query execution uncached
+	// (ExecuteBatch still runs each batch through its own
+	// DefaultCacheBytes-sized cache). Caching never changes results —
+	// adopted relations are bit-identical to recomputed ones — though
+	// with BushyPlans set it can change which plan is chosen (cached
+	// segments cost nothing to build, so warm workloads favor bushy
+	// joins of reusable segments).
+	CacheBytes int64
+	// CacheShards is the cache's shard count (≤ 0 selects an
+	// 8-shard default). Shards bound lock contention when ExecuteBatch
+	// runs queries concurrently; each shard owns an equal slice of
+	// CacheBytes.
+	CacheShards int
 }
 
 func (c *Config) fill() error {
@@ -245,6 +264,7 @@ type Estimator struct {
 	ph     *core.PathHistogram
 	census *paths.Census
 	cfg    Config
+	cache  *relcache.Cache // persistent segment-relation cache; nil unless Config.CacheBytes > 0
 }
 
 // Build computes the exact selectivity distribution of all label paths up
@@ -260,7 +280,11 @@ func Build(gr *Graph, cfg Config) (*Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Estimator{gr: gr, ph: ph, census: census, cfg: cfg}, nil
+	e := &Estimator{gr: gr, ph: ph, census: census, cfg: cfg}
+	if cfg.CacheBytes > 0 {
+		e.cache = relcache.New(relcache.Options{MaxBytes: cfg.CacheBytes, Shards: cfg.CacheShards})
+	}
+	return e, nil
 }
 
 // Estimate returns e(ℓ) for a slash-separated label-name path, e.g.

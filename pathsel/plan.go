@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/graph"
 	"repro/internal/paths"
+	"repro/internal/relcache"
 )
 
 // QueryPlan is the join strategy an Estimator chooses for a path query: a
@@ -49,11 +51,25 @@ type ExecStats struct {
 	Work int64
 	// Result is the exact selectivity |ℓ(G)| of the query.
 	Result int64
+	// CacheHits and CacheMisses count the execution's segment-cache
+	// traffic when a cache was in play (Config.CacheBytes, or any
+	// ExecuteBatch run): a hit adopted a previously materialized segment
+	// relation instead of recomputing it; a miss computed and published
+	// one. On a whole-query hit, Intermediates is empty and Work 0 —
+	// nothing intermediate was materialized.
+	CacheHits, CacheMisses int
 }
 
 // planner builds the exec.Planner view over this estimator's histogram.
-func (e *Estimator) planner() exec.Planner {
-	return exec.Planner{Est: exec.EstimatorFunc(e.ph.Estimate)}
+// With a cache and BushyPlans, the planner is cache-aware: segments whose
+// relations are already materialized cost nothing to build, so warm
+// workloads steer the DP toward bushy joins of reusable segments.
+func (e *Estimator) planner(cache *relcache.Cache) exec.Planner {
+	pl := exec.Planner{Est: exec.EstimatorFunc(e.ph.Estimate)}
+	if cache != nil && e.cfg.BushyPlans {
+		pl.Cached = func(p paths.Path) bool { return cache.Contains(p, false) }
+	}
+	return pl
 }
 
 // parseBounded resolves a query and enforces the build-time length bound.
@@ -72,8 +88,8 @@ func (e *Estimator) parseBounded(q string) (paths.Path, error) {
 // cheapest zig-zag plan, or — under Config.BushyPlans — the cheapest plan
 // tree, which degenerates to the zig-zag winner whenever linear growth is
 // estimated cheaper than every bushy split.
-func (e *Estimator) planParsed(p paths.Path) QueryPlan {
-	pl := e.planner()
+func (e *Estimator) planParsed(p paths.Path, cache *relcache.Cache) QueryPlan {
+	pl := e.planner(cache)
 	costs := pl.Costs(p)
 	plan := exec.CheapestPlan(costs)
 	qp := QueryPlan{
@@ -103,7 +119,7 @@ func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
 	if err != nil {
 		return QueryPlan{}, err
 	}
-	return e.planParsed(p), nil
+	return e.planParsed(p, e.cache), nil
 }
 
 // ExecuteQuery plans q with the histogram and carries the chosen plan out
@@ -122,18 +138,28 @@ func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
 	if err != nil {
 		return ExecStats{}, err
 	}
-	plan := e.planParsed(p)
-	opt := exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: e.cfg.Workers}
+	return e.executeParsed(e.gr.csr(), p, e.cache, e.cfg.Workers), nil
+}
+
+// executeParsed plans and executes one parsed query against the given
+// (possibly nil) segment cache — the shared core of ExecuteQuery and
+// ExecuteBatch. g is passed pre-frozen so concurrent batch workers never
+// race on the lazy CSR freeze.
+func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int) ExecStats {
+	plan := e.planParsed(p, cache)
+	opt := exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: workers, Cache: cache}
 	var st exec.Stats
 	if plan.Tree != nil {
-		_, st = exec.ExecuteTree(e.gr.csr(), p, plan.Tree, opt)
+		_, st = exec.ExecuteTree(g, p, plan.Tree, opt)
 	} else {
-		_, st = exec.ExecutePlan(e.gr.csr(), p, exec.Plan{Start: plan.Start}, opt)
+		_, st = exec.ExecutePlan(g, p, exec.Plan{Start: plan.Start}, opt)
 	}
 	return ExecStats{
 		Plan:          plan,
 		Intermediates: st.Intermediates,
 		Work:          st.Work,
 		Result:        st.Result,
-	}, nil
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+	}
 }
