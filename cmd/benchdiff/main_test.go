@@ -38,6 +38,31 @@ func TestDiffFailsBeyondThreshold(t *testing.T) {
 	}
 }
 
+// TestMergeBestGatesOnBestRun pins the best-of-N acceptance mode: a
+// noise dip in one run must not fail the gate when another run of the
+// same workload holds the ratio, while a regression present in every
+// run still fails.
+func TestMergeBestGatesOnBestRun(t *testing.T) {
+	base := report(1, row("exec/hybrid-backward", 1, 4.0))
+	dip := report(1, row("exec/hybrid-backward", 1, 2.5))   // one-run noise
+	hold := report(1, row("exec/hybrid-backward", 1, 3.95)) // within 5%
+	merged := MergeBest([]*experiments.PerfReport{dip, hold})
+	if len(merged.Results) != 1 || merged.Results[0].Speedup != 3.95 {
+		t.Fatalf("merged = %+v, want the best run's ratio", merged.Results)
+	}
+	if _, _, failures := Diff(base, merged, 0.05, 0); len(failures) != 0 {
+		t.Fatalf("best-of-N gate failed on a one-run dip: %v", failures)
+	}
+	// A regression in every run survives the merge and fails.
+	worse := MergeBest([]*experiments.PerfReport{
+		report(1, row("exec/hybrid-backward", 1, 2.5)),
+		report(1, row("exec/hybrid-backward", 1, 2.8)),
+	})
+	if _, _, failures := Diff(base, worse, 0.05, 0); len(failures) != 1 {
+		t.Fatalf("persistent regression passed the best-of-N gate: %v", failures)
+	}
+}
+
 func TestDiffFailsOnMissingCase(t *testing.T) {
 	base := report(1, row("exec/hybrid-forward", 1, 5.0))
 	fresh := report(1, row("exec/hybrid-backward", 1, 5.0))

@@ -88,6 +88,19 @@ func NewHybrid(n int, density float64) *HybridRelation {
 // operand.
 func HybridFromCSR(op CSROperand, density float64) *HybridRelation {
 	h := NewHybrid(op.N, density)
+	h.FillFromCSR(op)
+	return h
+}
+
+// FillFromCSR fills h with the length-1 path relation of one label — the
+// pooled form of HybridFromCSR: h is Reset first and its row storage is
+// reused in place, so executions drawing their buffers from a pool start
+// a query without allocating. h's universe must equal op.N.
+func (h *HybridRelation) FillFromCSR(op CSROperand) {
+	if op.N != h.n {
+		panic(fmt.Sprintf("bitset: operand universe %d != relation universe %d", op.N, h.n))
+	}
+	h.Reset()
 	for v := 0; v < op.N; v++ {
 		ts := op.Targets[op.Offsets[v]:op.Offsets[v+1]]
 		if len(ts) == 0 {
@@ -99,7 +112,11 @@ func HybridFromCSR(op CSROperand, density float64) *HybridRelation {
 			row.ids = append(row.ids[:0], ts...)
 		} else {
 			row.dense = true
-			row.words = make([]uint64, (op.N+wordBits-1)/wordBits)
+			if row.words == nil {
+				row.words = make([]uint64, (op.N+wordBits-1)/wordBits)
+			} else {
+				clear(row.words)
+			}
 			for _, t := range ts {
 				row.words[t>>6] |= 1 << (uint(t) & 63)
 			}
@@ -107,7 +124,6 @@ func HybridFromCSR(op CSROperand, density float64) *HybridRelation {
 		h.active = append(h.active, int32(v))
 		h.pairs += int64(len(ts))
 	}
-	return h
 }
 
 // Universe returns the vertex-universe size n.
@@ -219,6 +235,11 @@ type ComposeScratch struct {
 	// expansion buffer for dense left rows.
 	joinWords []uint64
 	tbuf      []int32
+
+	// Cooperative cancellation state (cancel.go): the attached flag and
+	// the remaining work budget of the current amortization window.
+	cancel       *CancelFlag
+	cancelBudget int
 }
 
 // NewComposeScratch returns a scratch accumulator for an n-vertex universe.
@@ -356,9 +377,15 @@ func (h *HybridRelation) ComposeInto(dst *HybridRelation, op CSROperand, scr *Co
 	h.checkCompose(dst, op)
 	dst.Reset()
 	for _, s := range h.active {
-		if count := h.composeRow(dst, op, scr, s); count > 0 {
+		count := h.composeRow(dst, op, scr, s)
+		if count > 0 {
 			dst.active = append(dst.active, s)
 			dst.pairs += int64(count)
+		}
+		if scr.cancelled(count) {
+			// dst holds a partial composition the caller must discard;
+			// the caller's cancellation cause says why.
+			return dst.pairs
 		}
 	}
 	return dst.pairs
@@ -437,9 +464,13 @@ func (h *HybridRelation) ComposeShardInto(dst *HybridRelation, op CSROperand, sc
 	buf = buf[:0]
 	var pairs int64
 	for _, s := range h.active[lo:hi] {
-		if count := h.composeRow(dst, op, scr, s); count > 0 {
+		count := h.composeRow(dst, op, scr, s)
+		if count > 0 {
 			buf = append(buf, s)
 			pairs += int64(count)
+		}
+		if scr.cancelled(count) {
+			return buf, pairs // partial shard; the coordinator discards it
 		}
 	}
 	return buf, pairs

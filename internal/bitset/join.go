@@ -34,9 +34,14 @@ func (h *HybridRelation) JoinInto(dst, r *HybridRelation, scr *ComposeScratch) i
 	h.checkJoin(dst, r)
 	dst.Reset()
 	for _, s := range h.active {
-		if count := h.joinRow(dst, r, scr, s); count > 0 {
+		count := h.joinRow(dst, r, scr, s)
+		if count > 0 {
 			dst.active = append(dst.active, s)
 			dst.pairs += int64(count)
+		}
+		if scr.cancelled(count) {
+			// dst holds a partial join the caller must discard.
+			return dst.pairs
 		}
 	}
 	return dst.pairs
@@ -73,9 +78,13 @@ func (h *HybridRelation) JoinShardInto(dst, r *HybridRelation, scr *ComposeScrat
 	buf = buf[:0]
 	var pairs int64
 	for _, s := range h.active[lo:hi] {
-		if count := h.joinRow(dst, r, scr, s); count > 0 {
+		count := h.joinRow(dst, r, scr, s)
+		if count > 0 {
 			buf = append(buf, s)
 			pairs += int64(count)
+		}
+		if scr.cancelled(count) {
+			return buf, pairs // partial shard; the coordinator discards it
 		}
 	}
 	return buf, pairs

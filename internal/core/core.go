@@ -106,7 +106,10 @@ func BuildForGraphOptions(g *graph.CSR, method, builder string, k, beta int, opt
 	if err != nil {
 		return nil, nil, err
 	}
-	c := paths.NewCensusHybrid(g, k, opt)
+	c, err := paths.NewCensusHybridChecked(g, k, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	ph, err := Build(c, ord, builder, beta)
 	if err != nil {
 		return nil, nil, err

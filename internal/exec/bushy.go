@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/paths"
 	"repro/internal/sched"
@@ -216,31 +217,47 @@ type treeExec struct {
 // segment is already cached adopts it without building either child —
 // this is how a warm cache gives bushy plans their leaf inputs, and
 // whole subtrees, for free.
-func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int64, int, int) {
+//
+// On error every relation the subtree materialized has been released
+// back to the options' pool; a failing child cancels the shared
+// canceller, so its concurrently building sibling aborts too instead of
+// running to completion against a dead query.
+func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int64, int, int, error) {
 	if t.IsLeaf() {
-		rel, st := ExecutePlan(tx.g, tx.p[t.Lo:t.Hi], Plan{Start: t.Start - t.Lo},
-			Options{DensityThreshold: tx.opt.DensityThreshold, Workers: workers, Cache: tx.opt.Cache})
-		return rel, st.Intermediates, st.CacheHits, st.CacheMisses
+		opt := tx.opt
+		opt.Workers = workers
+		rel, st, err := ExecutePlanChecked(tx.g, tx.p[t.Lo:t.Hi], Plan{Start: t.Start - t.Lo}, opt)
+		return rel, st.Intermediates, st.CacheHits, st.CacheMisses, err
 	}
 	n := tx.g.NumVertices()
 	seg := tx.p[t.Lo:t.Hi]
+	if err := tx.opt.Cancel.Err(); err != nil {
+		return nil, nil, 0, 0, err
+	}
 	sc := newSegCache(tx.opt.Cache, n, tx.opt.DensityThreshold)
 	if sc != nil {
-		dst := bitset.NewHybrid(n, tx.opt.DensityThreshold)
+		dst := getRel(tx.opt.Pool, n, tx.opt.DensityThreshold)
 		if sc.adopt(seg, false, dst) {
-			return dst, nil, 1, 0
+			if err := tx.opt.checkBudget(dst); err != nil {
+				putRel(tx.opt.Pool, dst)
+				return nil, nil, 0, 0, err
+			}
+			return dst, nil, 1, 0, nil
 		}
+		putRel(tx.opt.Pool, dst)
 	}
 	// The two segments are independent: split the worker budget and build
 	// them concurrently. Each child drives its own scheduler, so the two
-	// builds share nothing but the read-only graph and the thread-safe
-	// cache; adoption is bit-identical to recomputation, so their
-	// outputs — and therefore the join below — are unaffected by timing.
+	// builds share nothing but the read-only graph, the thread-safe
+	// cache, pool, and canceller; adoption is bit-identical to
+	// recomputation, so their outputs — and therefore the join below —
+	// are unaffected by timing.
 	var (
 		lrel, rrel *bitset.HybridRelation
 		li, ri     []int64
 		lh, lm     int
 		rh, rm     int
+		lerr, rerr error
 	)
 	if workers > 1 {
 		lw := (workers + 1) / 2
@@ -248,25 +265,63 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lrel, li, lh, lm = tx.run(t.Left, lw)
+			lrel, li, lh, lm, lerr = tx.run(t.Left, lw)
+			if lerr != nil {
+				tx.opt.Cancel.CancelIfSet(lerr)
+			}
 		}()
-		rrel, ri, rh, rm = tx.run(t.Right, workers-lw)
+		rrel, ri, rh, rm, rerr = tx.run(t.Right, workers-lw)
+		if rerr != nil {
+			tx.opt.Cancel.CancelIfSet(rerr)
+		}
 		wg.Wait()
 	} else {
-		lrel, li, lh, lm = tx.run(t.Left, 1)
-		rrel, ri, rh, rm = tx.run(t.Right, 1)
+		lrel, li, lh, lm, lerr = tx.run(t.Left, 1)
+		if lerr == nil {
+			rrel, ri, rh, rm, rerr = tx.run(t.Right, 1)
+		}
+	}
+	if lerr != nil || rerr != nil {
+		putRel(tx.opt.Pool, lrel)
+		putRel(tx.opt.Pool, rrel)
+		if lerr != nil {
+			return nil, nil, 0, 0, lerr
+		}
+		return nil, nil, 0, 0, rerr
 	}
 	ints := append(li, ri...)
 	ints = append(ints, lrel.Pairs(), rrel.Pairs())
-	dst := bitset.NewHybrid(n, tx.opt.DensityThreshold)
+	dst := getRel(tx.opt.Pool, n, tx.opt.DensityThreshold)
 	stp := newStepper(n, workers)
-	stp.join(lrel, dst, rrel)
+	stp.setCancel(tx.opt.Cancel.Flag())
+	faultinject.Fire("exec.step")
+	joinFail := func(err error) (*bitset.HybridRelation, []int64, int, int, error) {
+		putRel(tx.opt.Pool, lrel)
+		putRel(tx.opt.Pool, rrel)
+		putRel(tx.opt.Pool, dst)
+		return nil, nil, 0, 0, err
+	}
+	if err := tx.opt.Cancel.Err(); err != nil {
+		return joinFail(err)
+	}
+	if err := stp.join(lrel, dst, rrel); err != nil {
+		return joinFail(err)
+	}
+	if err := tx.opt.Cancel.Err(); err != nil {
+		return joinFail(err) // partial join output: discard, never cache
+	}
 	// Publish the joined segment in forward orientation: a later zig-zag
 	// over the same labels, a repeat of this subtree, or the whole-query
 	// fast path can all adopt it.
 	sc.put(seg, false, dst)
+	putRel(tx.opt.Pool, lrel)
+	putRel(tx.opt.Pool, rrel)
+	if err := tx.opt.checkBudget(dst); err != nil {
+		putRel(tx.opt.Pool, dst)
+		return nil, nil, 0, 0, err
+	}
 	hits, misses := sc.counters()
-	return dst, ints, lh + rh + hits, lm + rm + misses
+	return dst, ints, lh + rh + hits, lm + rm + misses, nil
 }
 
 // ExecuteTree evaluates p over g with the given plan tree: leaves run as
@@ -283,22 +338,47 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 // CostTree equal the executed Work. A single-leaf tree delegates to
 // ExecutePlan. It panics on an empty path or a malformed tree.
 func ExecuteTree(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options) (*bitset.HybridRelation, Stats) {
+	rel, st, err := ExecuteTreeChecked(g, p, tree, opt)
+	if err != nil {
+		// Legacy callers pass no canceller or budget, so the only way
+		// here is a contained worker panic — re-raise it on the caller.
+		panic(fmt.Sprintf("exec: unchecked execution failed: %v", err))
+	}
+	return rel, st
+}
+
+// ExecuteTreeChecked is ExecuteTree with the checked contract of
+// ExecutePlanChecked: cancellation and deadline checks at every join
+// boundary (a failing subtree cancels its concurrently building
+// sibling), budget enforcement on every materialized segment, contained
+// worker panics as typed errors, and every pooled relation released on
+// abort. A join-node execution with no caller canceller gets a private
+// one, so failure containment between sibling subtrees works even when
+// the caller never intends to cancel.
+func ExecuteTreeChecked(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options) (*bitset.HybridRelation, Stats, error) {
 	k := len(p)
 	if k == 0 {
 		panic("exec: empty path query")
 	}
 	tree.validate(0, k)
 	if tree.IsLeaf() {
-		rel, st := ExecutePlan(g, p, Plan{Start: tree.Start}, opt)
+		rel, st, err := ExecutePlanChecked(g, p, Plan{Start: tree.Start}, opt)
 		st.Tree = tree
-		return rel, st
+		return rel, st, err
+	}
+	if opt.Cancel == nil {
+		opt.Cancel = &Canceller{}
 	}
 	tx := &treeExec{g: g, p: p, opt: opt}
-	rel, ints, hits, misses := tx.run(tree, sched.WorkerCount(opt.Workers))
-	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints, Result: rel.Pairs(),
+	rel, ints, hits, misses, err := tx.run(tree, sched.WorkerCount(opt.Workers))
+	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints,
 		CacheHits: hits, CacheMisses: misses}
+	if err != nil {
+		return nil, st, err
+	}
+	st.Result = rel.Pairs()
 	for _, v := range ints {
 		st.Work += v
 	}
-	return rel, st
+	return rel, st, nil
 }

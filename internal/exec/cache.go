@@ -31,21 +31,29 @@ func newSegCache(c *relcache.Cache, n int, density float64) *segCache {
 	return &segCache{c: c, n: n, limit: bitset.SparseLimit(n, density)}
 }
 
-// adopt copies the cached relation of the segment (in the given
-// orientation) into dst and reports whether an adoptable entry existed.
-// Entries from a different representation regime — another universe or
-// promotion limit — are ignored rather than adopted, so execution stays
-// bit-identical to computing the segment from scratch no matter what the
-// cache holds.
+// adopt materializes the cached relation of the segment in the wanted
+// orientation into dst and reports whether an adoptable entry existed.
+// The cache stores one orientation per label sequence: a stored
+// orientation matching the wanted one copies verbatim, a mismatch
+// derives the inverse (ReverseInto) — bit-identical to recomputing,
+// because every kernel picks a row's representation purely from its
+// final population against dst's promotion limit. Entries from a
+// different representation regime — another universe or promotion limit
+// — are ignored rather than adopted, so execution stays bit-identical to
+// computing the segment from scratch no matter what the cache holds.
 func (sc *segCache) adopt(seg paths.Path, reversed bool, dst *bitset.HybridRelation) bool {
 	if sc == nil || len(seg) < 2 {
 		return false
 	}
-	rel, ok := sc.c.Get(seg, reversed)
+	rel, stored, ok := sc.c.Get(seg)
 	if !ok || rel.Universe() != sc.n || rel.SparseMax() != sc.limit {
 		return false
 	}
-	rel.CopyInto(dst)
+	if stored == reversed {
+		rel.CopyInto(dst)
+	} else {
+		rel.ReverseInto(dst)
+	}
 	sc.hits++
 	return true
 }
@@ -59,18 +67,6 @@ func (sc *segCache) put(seg paths.Path, reversed bool, rel *bitset.HybridRelatio
 	}
 	sc.c.Put(seg, reversed, rel)
 	sc.misses++
-}
-
-// publish stores a segment relation without touching the miss tally —
-// for relations that were derived rather than composed (the forward
-// orientation of a leftward-grown query, republished only so repeats can
-// take the whole-query fast path). A fully warm execution must report
-// zero misses.
-func (sc *segCache) publish(seg paths.Path, reversed bool, rel *bitset.HybridRelation) {
-	if sc == nil || len(seg) < 2 {
-		return
-	}
-	sc.c.Put(seg, reversed, rel)
 }
 
 // counters returns the execution's hit/miss tallies (zero for the

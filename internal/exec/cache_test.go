@@ -41,9 +41,10 @@ func TestExecutePlanCacheEquivalence(t *testing.T) {
 				if coldSt.CacheHits != 0 {
 					t.Fatalf("trial %d path %v start %d: cold run hit %d times", trial, p, s, coldSt.CacheHits)
 				}
-				// Exactly one miss per composed step: the forward
-				// whole-query republish of leftward plans is derived, not
-				// computed, and must not inflate the tally.
+				// Exactly one miss per composed step: the cache is
+				// orientation-canonical, so a leftward plan's reversed
+				// publishes serve forward consumers without extra entries
+				// or extra miss counts.
 				if k >= 2 && coldSt.CacheMisses != k-1 {
 					t.Fatalf("trial %d path %v start %d: cold run counted %d misses, want %d",
 						trial, p, s, coldSt.CacheMisses, k-1)
@@ -99,6 +100,43 @@ func TestExecutePlanCacheCrossPlan(t *testing.T) {
 	}
 	if cache.Stats().Hits == 0 {
 		t.Fatal("workload with shared segments never hit")
+	}
+}
+
+// TestExecutePlanCacheCrossOrientation pins the orientation-canonical
+// payoff at the executor level: a forward plan's published segments must
+// serve a backward plan of the same query (and vice versa) as hits — the
+// adopter derives the orientation it needs — with results bit-identical
+// to the uncached run, and the whole-query entry count stays one.
+func TestExecutePlanCacheCrossOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(int64(trial), 2+rng.Intn(90), 1+rng.Intn(3), 1+rng.Intn(400))
+		labels := g.NumLabels()
+		k := 2 + rng.Intn(3)
+		p := make(paths.Path, k)
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		want, _ := ExecutePlan(g, p, Plan{Start: 0}, Options{})
+		cache := relcache.New(relcache.Options{})
+		opt := Options{Cache: cache}
+
+		// Forward plan publishes; the backward plan wants every segment in
+		// the opposite orientation and must adopt anyway.
+		ExecutePlan(g, p, Plan{Start: 0}, opt)
+		rel, st := ExecutePlan(g, p, Plan{Start: k - 1}, opt)
+		if !rel.Equal(want) {
+			t.Fatalf("trial %d path %v: backward run over forward-warmed cache diverged", trial, p)
+		}
+		if st.CacheHits == 0 {
+			t.Fatalf("trial %d path %v: backward plan never adopted forward-published segments", trial, p)
+		}
+		// The whole-query segment is cached exactly once, in whichever
+		// orientation landed first — not once per orientation.
+		if !cache.Contains(p) {
+			t.Fatalf("trial %d path %v: whole-query entry missing after both plans", trial, p)
+		}
 	}
 }
 
@@ -232,7 +270,7 @@ func TestExecuteTreeCacheAwarePlansMatch(t *testing.T) {
 
 	pl := Planner{
 		Est:    EstimatorFunc(func(seg paths.Path) float64 { return float64(len(seg) * 100) }),
-		Cached: func(seg paths.Path) bool { return cache.Contains(seg, false) },
+		Cached: func(seg paths.Path) bool { return cache.Contains(seg) },
 	}
 	tree := pl.ChooseTree(p)
 	if tree.IsLeaf() {

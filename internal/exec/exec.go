@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/paths"
 	"repro/internal/relcache"
@@ -99,6 +100,28 @@ type Options struct {
 	// intermediate bookkeeping. A cache is bound to one graph; sharing
 	// it across graphs returns wrong relations.
 	Cache *relcache.Cache
+	// Cancel, when non-nil, makes the execution cooperatively
+	// cancellable: the checked executors consult it between join steps,
+	// and its kernel flag is wired into every compose scratch so even one
+	// huge step aborts with bounded latency. A cancelled execution
+	// returns the canceller's cause (ErrCancelled, ErrDeadlineExceeded,
+	// or ErrBudgetExceeded) from the Checked entry points; the legacy
+	// entry points panic on it, so only pair a canceller with
+	// ExecutePlanChecked/ExecuteTreeChecked.
+	Cancel *Canceller
+	// MaxResultBytes, when > 0, bounds every relation the execution
+	// materializes, priced at clone size (content bytes). The first
+	// intermediate or result over the bound aborts the execution with
+	// ErrBudgetExceeded — the executable form of the paper's thesis that
+	// intermediate volume is what makes a path query expensive.
+	MaxResultBytes int64
+	// Pool, when non-nil, supplies every relation the execution
+	// materializes and reclaims them on completion and on every abort
+	// path. The returned result relation stays checked out; the caller
+	// releases it with Pool.Put when done reading. Purely an
+	// allocation/leak-hygiene knob — results are identical with or
+	// without it.
+	Pool *RelPool
 }
 
 // Stats reports what an execution actually did.
@@ -161,6 +184,30 @@ func Execute(g *graph.CSR, p paths.Path, dir Direction) (*bitset.HybridRelation,
 // result is bit-identical to sequential execution at every worker count.
 // It panics on an empty path or an out-of-range plan start.
 func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.HybridRelation, Stats) {
+	rel, st, err := ExecutePlanChecked(g, p, plan, opt)
+	if err != nil {
+		// Legacy callers pass no canceller or budget, so the only way
+		// here is a contained worker panic — re-raise it on the caller.
+		panic(fmt.Sprintf("exec: unchecked execution failed: %v", err))
+	}
+	return rel, st
+}
+
+// ExecutePlanChecked is ExecutePlan with cancellation, deadline, and
+// budget enforcement: it consults Options.Cancel before and after every
+// join step (and wires its kernel flag into the compose scratches, so
+// cancellation lands mid-step too), prices every materialized relation
+// against Options.MaxResultBytes, and contains worker panics as typed
+// errors. On error the returned relation is nil, every pooled relation
+// has been released back to Options.Pool, and the error matches
+// ErrCancelled / ErrDeadlineExceeded / ErrBudgetExceeded under errors.Is
+// (or *sched.PanicError under errors.As for a contained panic). A
+// cancelled step's partial destination is discarded, never cached, so a
+// surviving execution — cancelled after its last step or not cancelled
+// at all — is bit-identical to an unchecked run. Like ExecutePlan it
+// panics on an empty path or an out-of-range plan start (caller bugs,
+// not runtime failures).
+func ExecutePlanChecked(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.HybridRelation, Stats, error) {
 	k := len(p)
 	if k == 0 {
 		panic("exec: empty path query")
@@ -170,68 +217,112 @@ func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.Hy
 	}
 	st := Stats{Plan: plan}
 	n := g.NumVertices()
+	if err := opt.Cancel.Err(); err != nil {
+		return nil, st, err
+	}
 	sc := newSegCache(opt.Cache, n, opt.DensityThreshold)
+	var cur, buf *bitset.HybridRelation
+	fail := func(err error) (*bitset.HybridRelation, Stats, error) {
+		putRel(opt.Pool, cur)
+		putRel(opt.Pool, buf)
+		return nil, st, err
+	}
 	// Whole-query fast path: a workload that repeats this exact query (or
 	// a bushy plan that already joined these labels) left the finished
 	// relation in the cache — adopt it without materializing anything.
-	var buf *bitset.HybridRelation
 	if sc != nil && k >= 2 {
-		buf = bitset.NewHybrid(n, opt.DensityThreshold)
+		buf = getRel(opt.Pool, n, opt.DensityThreshold)
 		if sc.adopt(p, false, buf) {
 			st.CacheHits, st.CacheMisses = sc.counters()
 			st.Result = buf.Pairs()
-			return buf, st
+			if err := opt.checkBudget(buf); err != nil {
+				return fail(err)
+			}
+			cur, buf = buf, nil
+			return cur, st, nil
 		}
 	}
-	cur := bitset.HybridFromCSR(g.LabelOperand(p[plan.Start]), opt.DensityThreshold)
+	cur = getRel(opt.Pool, n, opt.DensityThreshold)
+	cur.FillFromCSR(g.LabelOperand(p[plan.Start]))
 	if k == 1 {
+		putRel(opt.Pool, buf)
+		buf = nil
 		st.Result = cur.Pairs()
-		return cur, st
+		return cur, st, nil
 	}
 	if buf == nil {
-		buf = bitset.NewHybrid(n, opt.DensityThreshold)
+		buf = getRel(opt.Pool, n, opt.DensityThreshold)
 	}
 	stp := newStepper(n, opt.Workers)
+	stp.setCancel(opt.Cancel.Flag())
 	// Grow rightward: cur holds the segment p[Start:j). Each finished
 	// segment is adopted from the cache when available and published when
 	// not, so the recorded intermediates — every segment gets materialized
-	// either way — are identical to an uncached run.
+	// either way — are identical to an uncached run. The faultinject site
+	// at each step boundary lets chaos tests insert deterministic delays
+	// (tripping deadlines) without touching real kernels.
 	for j := plan.Start + 1; j < k; j++ {
 		st.Intermediates = append(st.Intermediates, cur.Pairs())
+		faultinject.Fire("exec.step")
+		if err := opt.Cancel.Err(); err != nil {
+			return fail(err)
+		}
 		if seg := p[plan.Start : j+1]; !sc.adopt(seg, false, buf) {
-			stp.compose(cur, buf, g.LabelOperand(p[j]))
+			if err := stp.compose(cur, buf, g.LabelOperand(p[j])); err != nil {
+				return fail(err)
+			}
+			if err := opt.Cancel.Err(); err != nil {
+				return fail(err) // partial step output: discard, never cache
+			}
 			sc.put(seg, false, buf)
 		}
 		cur, buf = buf, cur
+		if err := opt.checkBudget(cur); err != nil {
+			return fail(err)
+		}
 	}
 	// Grow leftward on the reversed relation: prepending label l to a
 	// segment is composing the reversed segment with l's predecessor
 	// operand. Reversal is linear and does not change Pairs, so the
 	// recorded intermediates are still segment selectivities. Leftward
 	// segments are cached in their reversed orientation — a different
-	// pair set than the forward segment, hence the direction key.
+	// pair set than the forward segment, hence the orientation marker.
 	if plan.Start > 0 {
 		cur.ReverseInto(buf)
 		cur, buf = buf, cur
 		for i := plan.Start - 1; i >= 0; i-- {
 			st.Intermediates = append(st.Intermediates, cur.Pairs())
+			faultinject.Fire("exec.step")
+			if err := opt.Cancel.Err(); err != nil {
+				return fail(err)
+			}
 			if seg := p[i:]; !sc.adopt(seg, true, buf) {
-				stp.compose(cur, buf, g.PredecessorOperand(p[i]))
+				if err := stp.compose(cur, buf, g.PredecessorOperand(p[i])); err != nil {
+					return fail(err)
+				}
+				if err := opt.Cancel.Err(); err != nil {
+					return fail(err)
+				}
 				sc.put(seg, true, buf)
 			}
 			cur, buf = buf, cur
+			if err := opt.checkBudget(cur); err != nil {
+				return fail(err)
+			}
 		}
 		cur.ReverseInto(buf)
 		cur, buf = buf, cur
-		// Publish the whole query in forward orientation so repeats take
-		// the fast path no matter which plan produced the relation. It
-		// was derived by reversal, not composed, so it counts no miss.
-		sc.publish(p, false, cur)
+		// No forward republish is needed for the fast path: the step
+		// loop cached the whole query in reversed orientation, and the
+		// orientation-canonical cache derives the forward form on
+		// adoption.
 	}
+	putRel(opt.Pool, buf)
+	buf = nil
 	for _, v := range st.Intermediates {
 		st.Work += v
 	}
 	st.CacheHits, st.CacheMisses = sc.counters()
 	st.Result = cur.Pairs()
-	return cur, st
+	return cur, st, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/sched"
 )
 
@@ -33,6 +34,7 @@ type stepper struct {
 	sch     *sched.Scheduler[shardTask]
 	n       int
 	scratch []*bitset.ComposeScratch // lazily built, indexed by worker
+	cancel  *bitset.CancelFlag       // wired into every scratch; nil when unchecked
 
 	// Per-step state, written by the coordinator between Drain rounds and
 	// read by shard bodies during one. Exactly one of op / right is the
@@ -63,8 +65,20 @@ func newStepper(n, workers int) *stepper {
 func (st *stepper) scr(w int) *bitset.ComposeScratch {
 	if st.scratch[w] == nil {
 		st.scratch[w] = bitset.NewComposeScratch(st.n)
+		st.scratch[w].SetCancel(st.cancel)
 	}
 	return st.scratch[w]
+}
+
+// setCancel wires a cancellation flag into every scratch (existing and
+// future), so the kernels of each subsequent step poll it mid-row-loop.
+func (st *stepper) setCancel(f *bitset.CancelFlag) {
+	st.cancel = f
+	for _, scr := range st.scratch {
+		if scr != nil {
+			scr.SetCancel(f)
+		}
+	}
 }
 
 // runShard is the scheduler task body: compose (or join, when the step's
@@ -72,6 +86,7 @@ func (st *stepper) scr(w int) *bitset.ComposeScratch {
 // destination with the executing worker's scratch, parking the produced
 // sources and pair count in the shard's own slots.
 func (st *stepper) runShard(worker int, t shardTask) {
+	faultinject.Fire("exec.shard")
 	lo, hi := st.bounds[t.idx], st.bounds[t.idx+1]
 	if st.right != nil {
 		st.srcs[t.idx], st.pairs[t.idx] = st.cur.JoinShardInto(
@@ -89,34 +104,37 @@ func (st *stepper) runShard(worker int, t shardTask) {
 // sequential ComposeInto. Small relations and 1-worker configurations
 // fall through to the sequential kernel: parallelism is a performance
 // decision per step, never a semantic one.
-func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand) {
+func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand) error {
 	nact := cur.Sources()
 	if st.sch.Workers() == 1 || nact < 2*minShardRows {
 		cur.ComposeInto(dst, op, st.scr(0))
-		return
+		return nil
 	}
 	st.op, st.right = op, nil
-	st.runSharded(cur, dst, nact)
+	return st.runSharded(cur, dst, nact)
 }
 
 // join runs one bushy join step cur ∘ right → dst through the same
 // sharding machinery as compose, with the relation×relation kernel
 // (bitset.JoinShardInto) as the task body. The merge discipline is
 // identical, so the result is bit-identical to sequential JoinInto.
-func (st *stepper) join(cur, dst, right *bitset.HybridRelation) {
+func (st *stepper) join(cur, dst, right *bitset.HybridRelation) error {
 	nact := cur.Sources()
 	if st.sch.Workers() == 1 || nact < 2*minShardRows {
 		cur.JoinInto(dst, right, st.scr(0))
-		return
+		return nil
 	}
 	st.right = right
-	st.runSharded(cur, dst, nact)
+	return st.runSharded(cur, dst, nact)
 }
 
 // runSharded partitions cur's active sources into shards, runs them on
 // the scheduler, and merges the outcome deterministically. The caller has
 // set the step's right-hand operand (op or right).
-func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) {
+// A shard body that panics (contained by the scheduler) surfaces here as
+// the drain's *sched.PanicError; the partial destination is left
+// unmerged for the caller to discard.
+func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) error {
 	workers := st.sch.Workers()
 	shards := workers * shardsPerWorker
 	if max := nact / minShardRows; shards > max {
@@ -142,9 +160,13 @@ func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) {
 	}
 	// Shard bodies never Spawn, so the static drain's goroutine count cap
 	// (min(workers, shards)) loses nothing.
-	st.sch.DrainStatic()
+	err := st.sch.DrainStatic()
+	st.cur, st.dst, st.right = nil, nil, nil
+	if err != nil {
+		return err
+	}
 	for i := 0; i < shards; i++ {
 		dst.AdoptShard(st.srcs[i], st.pairs[i])
 	}
-	st.cur, st.dst, st.right = nil, nil, nil
+	return nil
 }

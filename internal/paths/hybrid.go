@@ -74,6 +74,23 @@ type censusEngine struct {
 // is bit-identical to NewCensus — the engine changes how frequencies are
 // computed, never their values.
 func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
+	c, err := NewCensusHybridChecked(g, k, opt)
+	if err != nil {
+		// The census runs no caller code, so the only failure is a
+		// contained worker panic — re-raise it on the caller.
+		panic(fmt.Sprintf("paths: census build failed: %v", err))
+	}
+	return c
+}
+
+// NewCensusHybridChecked is NewCensusHybrid with failure containment: a
+// panic in any census worker (including one injected at the sched.task
+// fault site) is recovered by the scheduler, cancels the sibling
+// workers, and comes back as a typed *sched.PanicError instead of
+// crashing the process — with every in-flight subtree relation retired
+// into a worker pool via the scheduler's Abandon hook, so an aborted
+// build leaks neither goroutines nor relations.
+func NewCensusHybridChecked(g *graph.CSR, k int, opt CensusOptions) (*Census, error) {
 	if k < 1 {
 		panic(fmt.Sprintf("paths: census needs k ≥ 1, got %d", k))
 	}
@@ -94,6 +111,10 @@ func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
 		splitPairs: opt.SplitPairs,
 	}
 	e.sch = sched.New(opt.Workers, e.runTask)
+	// An abandoned task still owns its subtree relation; retire it into
+	// worker 0's pool. The hook runs on the drain coordinator after every
+	// worker has exited, so the unsynchronized pool access is safe.
+	e.sch.Abandon = func(t censusTask) { e.workers[0].pool.Put(t.rel) }
 	n, density := g.NumVertices(), opt.DensityThreshold
 	for i := range e.workers {
 		e.workers[i] = censusWorker{
@@ -113,8 +134,10 @@ func NewCensusHybrid(g *graph.CSR, k int, opt CensusOptions) *Census {
 		}
 		e.sch.Spawn(l, censusTask{p: p, rel: rel})
 	}
-	e.sch.Drain()
-	return c
+	if err := e.sch.Drain(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // runTask is the scheduler task body: expand the subtree on the executing

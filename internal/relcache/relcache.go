@@ -1,7 +1,8 @@
 // Package relcache is the workload-level segment-relation cache: a
 // sharded, size-bounded LRU of materialized label-segment relations
-// (bitset.HybridRelation), keyed by the canonical label sequence plus
-// build direction. The executor (internal/exec) consults it at every
+// (bitset.HybridRelation), keyed by the canonical label sequence alone
+// — one entry per sequence, whichever direction it was built in. The
+// executor (internal/exec) consults it at every
 // segment boundary — a query that re-walks a label subsequence another
 // query already materialized adopts the finished relation instead of
 // recomputing it — and the batch API (pathsel.Estimator.ExecuteBatch)
@@ -26,9 +27,16 @@
 //
 // Keys are position-independent: the segment p[2:4) of one query and
 // p[0:2) of another share an entry when their label sequences match.
-// Direction is part of the key because the executor's leftward growth
-// operates on reversed relations — reversed(p[i:k)) is a different pair
-// set than p[i:k). Entries are evicted least-recently-used per shard,
+// Keys are also orientation-canonical: the executor's leftward growth
+// operates on reversed relations — reversed(p[i:k)) is the inverse pair
+// set of p[i:k) — but the two forms are pure derivations of each other
+// (bitset.HybridRelation.ReverseInto), so the cache stores exactly one
+// relation per label sequence, tagged with the orientation it holds, and
+// a consumer wanting the other form derives it on adoption. One entry
+// then serves forward and backward plans alike, which both halves the
+// byte footprint of mixed-direction workloads and turns what used to be
+// a cross-orientation miss into a hit. Entries are evicted
+// least-recently-used per shard,
 // with cost accounted in exact bytes (bitset.HybridRelation.MemSize), so
 // the bound is a real memory budget, not an entry count. Relations larger
 // than a shard's whole budget are rejected outright rather than flushing
@@ -45,6 +53,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/paths"
 )
 
@@ -87,10 +96,13 @@ type Stats struct {
 	MaxBytes  int64  // configured budget
 }
 
-// entry is one cached relation on a shard's LRU list.
+// entry is one cached relation on a shard's LRU list. reversed records
+// which orientation of the label sequence rel holds; the other is
+// derived by the consumer on adoption.
 type entry struct {
 	key        string
 	rel        *bitset.HybridRelation
+	reversed   bool
 	cost       int64
 	prev, next *entry // LRU list: front = most recent, back = next victim
 }
@@ -145,17 +157,13 @@ func New(opt Options) *Cache {
 	return c
 }
 
-// key builds the canonical cache key: one direction byte followed by the
-// label sequence varint-encoded. Canonical means position-independent —
-// equal label subsequences key the same entry wherever they sit in their
-// queries — and prefix-free per direction (varints self-delimit).
-func key(p paths.Path, reversed bool) string {
-	buf := make([]byte, 1, 1+2*len(p))
-	if reversed {
-		buf[0] = 'R'
-	} else {
-		buf[0] = 'F'
-	}
+// key builds the canonical cache key: the label sequence varint-encoded.
+// Canonical means position- and orientation-independent — equal label
+// subsequences key the same entry wherever they sit in their queries and
+// whichever direction their relation was built in (the entry records
+// which orientation it holds) — and unambiguous (varints self-delimit).
+func key(p paths.Path) string {
+	buf := make([]byte, 0, 2*len(p))
 	for _, l := range p {
 		buf = binary.AppendUvarint(buf, uint64(l))
 	}
@@ -172,34 +180,38 @@ func (c *Cache) shardFor(k string) *shard {
 	return &c.shards[h&c.mask]
 }
 
-// Get returns the cached relation for the segment, or (nil, false). The
-// returned relation is shared and immutable: the caller must copy it
-// (bitset.HybridRelation.CopyInto) before any mutation, and must verify
-// it matches the caller's representation regime (Universe, SparseMax)
-// before adopting it.
-func (c *Cache) Get(p paths.Path, reversed bool) (*bitset.HybridRelation, bool) {
-	k := key(p, reversed)
+// Get returns the cached relation for the segment's label sequence,
+// along with the orientation it holds (true = the reversed pair set), or
+// (nil, false, false). A caller wanting the other orientation derives it
+// (bitset.HybridRelation.ReverseInto) — which is why one entry serves
+// both directions. The returned relation is shared and immutable: the
+// caller must copy it (CopyInto / ReverseInto) before any mutation, and
+// must verify it matches the caller's representation regime (Universe,
+// SparseMax) before adopting it.
+func (c *Cache) Get(p paths.Path) (rel *bitset.HybridRelation, reversed, ok bool) {
+	k := key(p)
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	e, ok := sh.entries[k]
 	if ok {
 		sh.moveToFront(e)
+		rel, reversed = e.rel, e.reversed
 	}
 	sh.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
-		return nil, false
+		return nil, false, false
 	}
 	c.hits.Add(1)
-	return e.rel, true
+	return rel, reversed, true
 }
 
-// Contains reports whether the segment is cached, without touching the
-// LRU order or the hit/miss counters — the planner's cost probe
-// (exec.Planner.Cached) must not perturb recency while enumerating O(k²)
-// candidate segments.
-func (c *Cache) Contains(p paths.Path, reversed bool) bool {
-	k := key(p, reversed)
+// Contains reports whether the segment is cached (in either
+// orientation), without touching the LRU order or the hit/miss counters
+// — the planner's cost probe (exec.Planner.Cached) must not perturb
+// recency while enumerating O(k²) candidate segments.
+func (c *Cache) Contains(p paths.Path) bool {
+	k := key(p)
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	_, ok := sh.entries[k]
@@ -211,20 +223,27 @@ func (c *Cache) Contains(p paths.Path, reversed bool) bool {
 // relation itself: the entry struct, the map slot, and the key header.
 const entryOverhead = 96
 
-// Put stores the segment's relation, cloning it so the cache entry stays
-// valid while the caller's pooled buffers are reused (the clone is
-// exact-size, so accounting is tight). An existing entry under the same
-// key is replaced. Relations whose cost exceeds one shard's whole budget
-// are rejected — caching them would flush everything else for an entry
-// that cannot amortize — and the cost is priced from the source relation
-// (CloneMemSize) before any copying, so an oversized relation published
-// on every query of a workload costs a size computation, not a discarded
-// multi-megabyte clone each time.
+// Put stores the segment's relation in the given orientation, cloning it
+// so the cache entry stays valid while the caller's pooled buffers are
+// reused (the clone is exact-size, so accounting is tight). An existing
+// entry under the same label sequence is replaced whatever orientation
+// it held — the canonical key keeps exactly one relation per sequence,
+// and replacement (rather than skip) lets a fresh-regime relation oust a
+// stale one that adoption guards were rejecting. Relations whose cost
+// exceeds one shard's whole budget are rejected — caching them would
+// flush everything else for an entry that cannot amortize — and the cost
+// is priced from the source relation (CloneMemSize) before any copying,
+// so an oversized relation published on every query of a workload costs
+// a size computation, not a discarded multi-megabyte clone each time.
+// The relcache.put fault site models the clone failing to allocate: a
+// triggered injection turns the call into a counted rejection, the same
+// graceful degradation as an oversized entry (service continues, the
+// segment just stays uncached).
 func (c *Cache) Put(p paths.Path, reversed bool, rel *bitset.HybridRelation) {
-	k := key(p, reversed)
+	k := key(p)
 	cost := int64(rel.CloneMemSize()) + int64(len(k)) + entryOverhead
 	sh := c.shardFor(k)
-	if cost > sh.cap {
+	if cost > sh.cap || faultinject.Fail("relcache.put") {
 		c.rejected.Add(1)
 		return
 	}
@@ -243,7 +262,7 @@ func (c *Cache) Put(p paths.Path, reversed bool, rel *bitset.HybridRelation) {
 		delete(sh.entries, victim.key)
 		evicted++
 	}
-	e := &entry{key: k, rel: clone, cost: cost}
+	e := &entry{key: k, rel: clone, reversed: reversed, cost: cost}
 	sh.entries[k] = e
 	sh.pushFront(e)
 	sh.bytes += cost

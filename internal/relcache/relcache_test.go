@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/paths"
 )
 
@@ -47,25 +48,85 @@ func TestPutGetRoundTrip(t *testing.T) {
 	c := New(Options{})
 	p := paths.Path{1, 2, 3}
 	r := rel(16, [2]int{0, 1}, [2]int{3, 7})
-	if _, ok := c.Get(p, false); ok {
+	if _, _, ok := c.Get(p); ok {
 		t.Fatal("empty cache returned a hit")
 	}
 	c.Put(p, false, r)
-	got, ok := c.Get(p, false)
-	if !ok || !got.Equal(r) {
-		t.Fatal("round trip lost the relation")
-	}
-	// Direction is part of the key.
-	if _, ok := c.Get(p, true); ok {
-		t.Fatal("reversed lookup hit the forward entry")
+	got, reversed, ok := c.Get(p)
+	if !ok || reversed || !got.Equal(r) {
+		t.Fatal("round trip lost the relation or its orientation")
 	}
 	// Different label sequence, different entry.
-	if _, ok := c.Get(paths.Path{1, 2, 4}, false); ok {
+	if _, _, ok := c.Get(paths.Path{1, 2, 4}); ok {
 		t.Fatal("wrong labels hit")
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 3 || st.Puts != 1 || st.Entries != 1 {
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Entries != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOrientationCanonical pins the single-orientation storage contract:
+// one entry serves both build directions (the consumer derives the other
+// form), a cross-orientation Put replaces rather than duplicates, and
+// the byte accounting therefore holds one relation per label sequence
+// where the direction-keyed scheme held two.
+func TestOrientationCanonical(t *testing.T) {
+	c := New(Options{Shards: 1})
+	p := paths.Path{1, 2}
+	fwd := rel(16, [2]int{0, 1}, [2]int{3, 7})
+	c.Put(p, false, fwd)
+	oneEntry := c.Stats().Bytes
+
+	// A consumer wanting the reversed form still hits: it gets the stored
+	// forward relation plus the orientation flag and derives the inverse.
+	got, reversed, ok := c.Get(p)
+	if !ok || reversed {
+		t.Fatalf("lookup after forward put: ok=%v reversed=%v", ok, reversed)
+	}
+	inv := bitset.NewHybrid(16, 0)
+	got.ReverseInto(inv)
+	if inv.Pairs() != 2 || !inv.Contains(1, 0) || !inv.Contains(7, 3) {
+		t.Fatal("derived inverse is wrong")
+	}
+
+	// Publishing the reversed form replaces the entry instead of storing a
+	// second relation for the same labels.
+	c.Put(p, true, inv)
+	if c.Len() != 1 {
+		t.Fatalf("cross-orientation put duplicated: %d entries", c.Len())
+	}
+	if got, reversed, ok = c.Get(p); !ok || !reversed || !got.Equal(inv) {
+		t.Fatal("replacement lost the reversed relation")
+	}
+	if bytes := c.Stats().Bytes; bytes != oneEntry {
+		t.Fatalf("both-orientation workload accounts %d bytes, want single-entry %d", bytes, oneEntry)
+	}
+}
+
+// TestPutFaultInjection drives the relcache.put fault site: a simulated
+// clone-allocation failure must degrade to a counted rejection — no
+// entry, no corruption, service continues — and stores succeed again
+// once the fault clears.
+func TestPutFaultInjection(t *testing.T) {
+	faultinject.Install(faultinject.NewInjector(faultinject.Rule{
+		Site: "relcache.put", Action: faultinject.ActFail,
+	}))
+	defer faultinject.Uninstall()
+	c := New(Options{Shards: 1})
+	p := paths.Path{3, 4}
+	c.Put(p, false, rel(16, [2]int{0, 1}))
+	if c.Len() != 0 {
+		t.Fatal("entry stored despite injected allocation failure")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Puts != 0 {
+		t.Fatalf("stats = %+v, want 1 rejection and 0 puts", st)
+	}
+	faultinject.Uninstall()
+	c.Put(p, false, rel(16, [2]int{0, 1}))
+	if _, _, ok := c.Get(p); !ok {
+		t.Fatal("store failed after fault cleared")
 	}
 }
 
@@ -75,13 +136,13 @@ func TestKeyCanonicalization(t *testing.T) {
 	c := New(Options{})
 	long := paths.Path{9, 1, 2, 9}
 	c.Put(long[1:3], false, rel(8, [2]int{0, 1}))
-	if _, ok := c.Get(paths.Path{1, 2}, false); !ok {
+	if _, _, ok := c.Get(paths.Path{1, 2}); !ok {
 		t.Fatal("same labels from a different slice missed")
 	}
 	// Varint encoding is self-delimiting: {300} must not alias {44, 2} or
 	// any other pair that would collide under naive byte concatenation.
 	c.Put(paths.Path{300}, false, rel(8, [2]int{1, 2}))
-	if _, ok := c.Get(paths.Path{172, 2}, false); ok {
+	if _, _, ok := c.Get(paths.Path{172, 2}); ok {
 		t.Fatal("multi-byte label aliased a label pair")
 	}
 }
@@ -92,7 +153,7 @@ func TestPutClonesAndGetIsImmutable(t *testing.T) {
 	r := rel(16, [2]int{2, 3}, [2]int{2, 4})
 	c.Put(p, false, r)
 	r.Reset() // caller's pooled buffer is reused...
-	got, ok := c.Get(p, false)
+	got, _, ok := c.Get(p)
 	if !ok || got.Pairs() != 2 || !got.Contains(2, 3) {
 		t.Fatal("cache entry aliased the caller's buffer")
 	}
@@ -111,15 +172,15 @@ func TestLRUEvictionOrderAndAccounting(t *testing.T) {
 		t.Fatalf("expected 3 entries, have %d (budget %d, entry ~%d)", got, (base+200)*3, base)
 	}
 	// Touch {1,1} so {2,2} becomes the LRU victim.
-	if _, ok := c.Get(ps[0], false); !ok {
+	if _, _, ok := c.Get(ps[0]); !ok {
 		t.Fatal("entry 0 missing")
 	}
 	c.Put(ps[3], false, rel(64, [2]int{0, 1}))
-	if _, ok := c.Get(ps[1], false); ok {
+	if _, _, ok := c.Get(ps[1]); ok {
 		t.Fatal("LRU victim {2,2} survived")
 	}
 	for _, p := range []paths.Path{ps[0], ps[2], ps[3]} {
-		if _, ok := c.Get(p, false); !ok {
+		if _, _, ok := c.Get(p); !ok {
 			t.Fatalf("entry %v wrongly evicted", p)
 		}
 	}
@@ -153,7 +214,7 @@ func TestOverwriteReplaces(t *testing.T) {
 	p := paths.Path{7, 8}
 	c.Put(p, false, rel(16, [2]int{0, 1}))
 	c.Put(p, false, rel(16, [2]int{0, 1}, [2]int{0, 2}))
-	got, ok := c.Get(p, false)
+	got, _, ok := c.Get(p)
 	if !ok || got.Pairs() != 2 {
 		t.Fatal("overwrite did not replace the entry")
 	}
@@ -165,12 +226,12 @@ func TestOverwriteReplaces(t *testing.T) {
 func TestContainsDoesNotPerturb(t *testing.T) {
 	c := New(Options{})
 	p := paths.Path{1}
-	if c.Contains(p, false) {
+	if c.Contains(p) {
 		t.Fatal("empty cache contains")
 	}
 	c.Put(p, false, rel(8, [2]int{0, 1}))
-	if !c.Contains(p, false) || c.Contains(p, true) {
-		t.Fatal("Contains wrong")
+	if !c.Contains(p) {
+		t.Fatal("Contains missed the entry")
 	}
 	st := c.Stats()
 	if st.Hits != 0 || st.Misses != 0 {
@@ -190,7 +251,7 @@ func TestConcurrentAccess(t *testing.T) {
 				p := paths.Path{rng.Intn(8), rng.Intn(8)}
 				if rng.Intn(2) == 0 {
 					c.Put(p, rng.Intn(2) == 0, rel(32, [2]int{rng.Intn(32), rng.Intn(32)}))
-				} else if got, ok := c.Get(p, rng.Intn(2) == 0); ok && got.Universe() != 32 {
+				} else if got, _, ok := c.Get(p); ok && got.Universe() != 32 {
 					t.Error("corrupt entry")
 				}
 			}
@@ -258,9 +319,9 @@ func FuzzCacheInvariants(f *testing.F) {
 			case 0:
 				c.Put(p, op%2 == 0, rel(16+rng.Intn(32), [2]int{rng.Intn(16), rng.Intn(16)}))
 			case 1:
-				c.Get(p, op%2 == 0)
+				c.Get(p)
 			default:
-				c.Contains(p, false)
+				c.Contains(p)
 			}
 			checkInvariants(t, c)
 		}
@@ -275,7 +336,7 @@ func TestStatsString(t *testing.T) {
 	// Smoke: Stats fields render; guards against accidental field removal.
 	c := New(Options{MaxBytes: 1 << 16, Shards: 2})
 	c.Put(paths.Path{1, 2}, false, rel(16, [2]int{0, 1}))
-	c.Get(paths.Path{1, 2}, false)
+	c.Get(paths.Path{1, 2})
 	s := fmt.Sprintf("%+v", c.Stats())
 	if s == "" {
 		t.Fatal("empty stats")

@@ -22,6 +22,18 @@
 // sharded composition per join step) seed and drain repeatedly on the
 // same scheduler, keeping worker-indexed state alive across rounds.
 //
+// Drains are cancellable and panic-contained. Cancel sets an atomic stop
+// flag that every worker checks before popping or stealing another task
+// and that parked workers are woken to observe; the interrupted drain
+// hands still-queued tasks to the Abandon hook (so clients can release
+// task-owned resources such as pooled relations) and returns ErrStopped.
+// A panic inside a task body is recovered on its worker, recorded as a
+// *PanicError carrying the worker id, panic value, and stack, and
+// converted into a cancellation of the sibling workers — one poisoned
+// task aborts the drain with a typed error instead of crashing the
+// process. Both signals are consumed by the drain that observes them:
+// the scheduler resets and remains reusable.
+//
 // Determinism is the client's contract, and the scheduler is designed to
 // make it cheap: task bodies that write only to task-owned state (disjoint
 // slots indexed by task identity, as both current clients do) produce

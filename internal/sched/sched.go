@@ -1,10 +1,44 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
+
+// ErrStopped is the typed result of a drain that ended early because
+// Cancel was called: the worker set exited promptly, every undrained
+// task was discarded (through the Abandon hook when set), and the
+// scheduler was reset for reuse. Compare with errors.Is.
+var ErrStopped = errors.New("sched: drain cancelled")
+
+// PanicError is the typed result of a drain in which a task body
+// panicked: the panic was recovered on the worker, the remaining workers
+// were cancelled, and the first recovered panic — value, worker id, and
+// stack — is carried here instead of crashing the process. It unwraps to
+// ErrStopped, so callers that only distinguish "completed" from
+// "aborted" can errors.Is(err, ErrStopped) for both.
+type PanicError struct {
+	// Worker is the scheduler worker id whose task body panicked.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its origin worker.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task body panicked on worker %d: %v", e.Worker, e.Value)
+}
+
+// Unwrap makes every PanicError match ErrStopped.
+func (e *PanicError) Unwrap() error { return ErrStopped }
 
 // WorkerCount normalizes a worker-count knob: values ≤ 0 select
 // GOMAXPROCS. Every layer that exposes a Workers option (pathsel.Config,
@@ -85,9 +119,27 @@ type Scheduler[T any] struct {
 	body   func(worker int, task T)
 	deques []deque[T]
 
+	// Abandon, when non-nil, receives every task a cancelled or panicked
+	// drain discards without running, on the coordinator goroutine after
+	// all workers have exited — the hook through which clients release
+	// resources owned by in-flight tasks (the census returns pooled
+	// relations). Set it before the first Spawn; it is never called by a
+	// drain that completes normally.
+	Abandon func(task T)
+
 	// outstanding counts spawned-but-not-yet-completed tasks; Drain
 	// terminates when it reaches zero.
 	outstanding atomic.Int64
+
+	// stop is the drain cancellation signal: set by Cancel (or by the
+	// panic handler), checked by the owner pop/steal loop before every
+	// task and by park before sleeping, and consumed — reset — by the
+	// drain that observes it.
+	stop atomic.Bool
+
+	// failure holds the first recovered task-body panic of the current
+	// drain; the drain returns it and resets the slot.
+	failure atomic.Pointer[PanicError]
 
 	// Idle workers park on cond instead of busy-polling; Spawn signals it
 	// when sleeping > 0, and the worker that retires the last task
@@ -123,15 +175,43 @@ func (s *Scheduler[T]) Spawn(worker int, task T) {
 	}
 }
 
+// Cancel asks the current (or next) drain to stop: workers exit before
+// popping or stealing another task, parked workers are woken to observe
+// the signal, and the drain discards every task still queued (through
+// Abandon when set) before returning ErrStopped. Tasks whose bodies are
+// already running are not interrupted — cancellation is cooperative at
+// task granularity; bodies that need finer abort latency must check
+// their own flag (the execution kernels do, via bitset.CancelFlag).
+// Cancel is safe from any goroutine, including task bodies, and is a
+// no-op once the signal is already set.
+func (s *Scheduler[T]) Cancel() {
+	if s.stop.Swap(true) {
+		return
+	}
+	s.wakeAll()
+}
+
+// Stopping reports whether the cancellation signal is currently set.
+// Task bodies may poll it to cut long-running work short.
+func (s *Scheduler[T]) Stopping() bool { return s.stop.Load() }
+
 // Drain runs one worker goroutine per deque until every spawned task —
 // including tasks spawned from inside task bodies — has completed, then
-// returns. The full worker set must start because bodies may Spawn: a
-// single seed can fan out to fill every worker (the census regularly
+// returns nil. The full worker set must start because bodies may Spawn:
+// a single seed can fan out to fill every worker (the census regularly
 // seeds fewer tasks than workers and splits deeper in the trie). For
 // rounds whose task set is fully seeded up front, DrainStatic is
 // cheaper. Drain is a no-op when nothing is outstanding, and reusable:
 // seed and drain any number of rounds on the same scheduler.
-func (s *Scheduler[T]) Drain() { s.drain(len(s.deques)) }
+//
+// A drain ends early on two signals, both of which it consumes (the
+// scheduler is reset and reusable afterwards): Cancel makes it return
+// ErrStopped, and a panicking task body makes it return the recovered
+// *PanicError — the panic is caught on the worker, the sibling workers
+// are cancelled, and the process survives. Either way, every task still
+// queued when the workers exit is handed to the Abandon hook and
+// dropped, and no worker goroutine outlives the call.
+func (s *Scheduler[T]) Drain() error { return s.drain(len(s.deques)) }
 
 // DrainStatic is Drain for rounds whose tasks are all Spawned before the
 // call and whose bodies never Spawn: it starts only min(workers,
@@ -140,35 +220,64 @@ func (s *Scheduler[T]) Drain() { s.drain(len(s.deques)) }
 // worker ids 0..n−1, so worker-indexed client state still applies;
 // tasks seeded onto higher deques are reached by stealing. With
 // dynamically-spawning bodies it would serialize the surplus fan-out —
-// use Drain there.
-func (s *Scheduler[T]) DrainStatic() {
+// use Drain there. Cancellation and panic containment behave exactly as
+// in Drain.
+func (s *Scheduler[T]) DrainStatic() error {
 	n := len(s.deques)
 	if o := s.outstanding.Load(); o < int64(n) {
 		n = int(o)
 	}
-	s.drain(n)
+	return s.drain(n)
 }
 
-func (s *Scheduler[T]) drain(workers int) {
-	if s.outstanding.Load() == 0 {
-		return
+func (s *Scheduler[T]) drain(workers int) error {
+	if s.outstanding.Load() == 0 && !s.stop.Load() {
+		return nil
 	}
-	var wg sync.WaitGroup
-	for id := 0; id < workers; id++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.run(id)
-		}()
+	if !s.stop.Load() {
+		var wg sync.WaitGroup
+		for id := 0; id < workers; id++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.run(id)
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if !s.stop.Load() {
+		return nil
+	}
+	// The drain ended on the stop signal (Cancel, a recovered panic, or a
+	// Cancel that arrived before this drain started). Discard what never
+	// ran, then reset the signal state so the scheduler is reusable.
+	for i := range s.deques {
+		for {
+			t, ok := s.deques[i].steal()
+			if !ok {
+				break
+			}
+			s.outstanding.Add(-1)
+			if s.Abandon != nil {
+				s.Abandon(t)
+			}
+		}
+	}
+	s.stop.Store(false)
+	if pe := s.failure.Swap(nil); pe != nil {
+		return pe
+	}
+	return ErrStopped
 }
 
 // run is the worker loop: drain the local deque LIFO, steal FIFO from
 // others when empty, park when no work is visible, exit when no task is
-// outstanding anywhere.
+// outstanding anywhere or the stop signal is set.
 func (s *Scheduler[T]) run(id int) {
 	for {
+		if s.stop.Load() {
+			return
+		}
 		t, ok := s.deques[id].pop()
 		if !ok {
 			t, ok = s.steal(id)
@@ -184,23 +293,44 @@ func (s *Scheduler[T]) run(id int) {
 			}
 			continue
 		}
-		s.body(id, t)
+		s.exec(id, t)
 		if s.outstanding.Add(-1) == 0 {
 			s.wakeAll()
 		}
 	}
 }
 
+// exec runs one task body with panic containment: a panic is recovered
+// here on the worker, recorded as the drain's typed failure (first one
+// wins), and converted into a cancellation so sibling workers stop
+// instead of the process dying. The faultinject site lets chaos tests
+// force this path deterministically.
+func (s *Scheduler[T]) exec(id int, t T) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.failure.CompareAndSwap(nil, &PanicError{Worker: id, Value: r, Stack: debug.Stack()})
+			s.Cancel()
+		}
+	}()
+	faultinject.Fire("sched.task")
+	s.body(id, t)
+}
+
 // park blocks until new work may exist. It returns false when the drain is
-// complete. Announcing sleeping before the final re-scan closes the race
-// with Spawn: a spawner that missed the sleeping count pushed before our
-// announcement, so the re-scan (which acquires the same deque locks)
-// observes its task.
+// complete or cancelled. Announcing sleeping before the final re-scan
+// closes the race with Spawn: a spawner that missed the sleeping count
+// pushed before our announcement, so the re-scan (which acquires the same
+// deque locks) observes its task. The same ordering closes the race with
+// Cancel: a canceller that missed the sleeping count set stop before our
+// announcement, so the pre-wait stop check observes it.
 func (s *Scheduler[T]) park(id int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sleeping.Add(1)
 	defer s.sleeping.Add(-1)
+	if s.stop.Load() {
+		return false
+	}
 	if s.hasWork(id) {
 		return true // let the caller re-scan and actually steal it
 	}

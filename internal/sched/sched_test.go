@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 // TestSchedulerRunsEveryTask seeds tasks round-robin and verifies each
@@ -224,4 +227,182 @@ func FuzzSchedulerDeterminism(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestSchedulerCancelMidDrain cancels from inside a task body and checks
+// the full abort contract: Drain returns ErrStopped, every seeded task
+// either ran or was handed to Abandon, and the scheduler is reusable for
+// a clean follow-up round.
+func TestSchedulerCancelMidDrain(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 200
+		var ran, abandoned atomic.Int64
+		var s *Scheduler[int]
+		s = New(workers, func(_ int, task int) {
+			if ran.Add(1) == 10 {
+				s.Cancel()
+			}
+		})
+		s.Abandon = func(int) { abandoned.Add(1) }
+		for i := 0; i < n; i++ {
+			s.Spawn(i, i)
+		}
+		err := s.Drain()
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("workers=%d: Drain = %v, want ErrStopped", workers, err)
+		}
+		if got := ran.Load() + abandoned.Load(); got != n {
+			t.Fatalf("workers=%d: ran %d + abandoned %d = %d, want %d",
+				workers, ran.Load(), abandoned.Load(), got, n)
+		}
+		if ran.Load() >= n {
+			t.Fatalf("workers=%d: cancellation did not abandon anything", workers)
+		}
+		// The signal must be consumed: a fresh round runs clean.
+		ran.Store(0)
+		abandoned.Store(0)
+		s2ran := 0
+		s.Abandon = func(int) { t.Error("Abandon called on a clean round") }
+		s.body = func(_ int, _ int) { s2ran++ }
+		if workers == 1 {
+			for i := 0; i < 5; i++ {
+				s.Spawn(i, i)
+			}
+			if err := s.Drain(); err != nil {
+				t.Fatalf("post-cancel Drain = %v, want nil", err)
+			}
+			if s2ran != 5 {
+				t.Fatalf("post-cancel round ran %d tasks, want 5", s2ran)
+			}
+		}
+	}
+}
+
+// TestSchedulerCancelBeforeDrain pins that a Cancel issued with no drain
+// running makes the next drain abandon everything and return ErrStopped.
+func TestSchedulerCancelBeforeDrain(t *testing.T) {
+	var ran, abandoned atomic.Int64
+	s := New(4, func(_ int, _ int) { ran.Add(1) })
+	s.Abandon = func(int) { abandoned.Add(1) }
+	for i := 0; i < 20; i++ {
+		s.Spawn(i, i)
+	}
+	s.Cancel()
+	if !s.Stopping() {
+		t.Fatal("Stopping() = false after Cancel")
+	}
+	if err := s.Drain(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Drain = %v, want ErrStopped", err)
+	}
+	if ran.Load() != 0 || abandoned.Load() != 20 {
+		t.Fatalf("ran=%d abandoned=%d, want 0/20", ran.Load(), abandoned.Load())
+	}
+	if s.Stopping() {
+		t.Fatal("Stopping() = true after the drain consumed the signal")
+	}
+}
+
+// TestSchedulerPanicContainment injects a panicking task body and checks
+// the containment contract: the process survives, Drain returns a
+// *PanicError that unwraps to ErrStopped and carries the worker id,
+// panic value, and a stack trace, sibling tasks are abandoned rather
+// than run, and the scheduler is reusable.
+func TestSchedulerPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 100
+		var ran, abandoned atomic.Int64
+		s := New(workers, func(_ int, task int) {
+			if task == 7 {
+				panic("poisoned task")
+			}
+			ran.Add(1)
+		})
+		s.Abandon = func(int) { abandoned.Add(1) }
+		for i := 0; i < n; i++ {
+			s.Spawn(i, i)
+		}
+		err := s.Drain()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: Drain = %v, want *PanicError", workers, err)
+		}
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("workers=%d: PanicError does not unwrap to ErrStopped", workers)
+		}
+		if pe.Value != "poisoned task" {
+			t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if pe.Worker < 0 || pe.Worker >= workers {
+			t.Fatalf("workers=%d: panic attributed to worker %d", workers, pe.Worker)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError carries no stack", workers)
+		}
+		if got := ran.Load() + abandoned.Load(); got != n-1 {
+			t.Fatalf("workers=%d: ran %d + abandoned %d = %d, want %d",
+				workers, ran.Load(), abandoned.Load(), got, n-1)
+		}
+		// Reusable after containment.
+		var again atomic.Int64
+		s.body = func(_ int, _ int) { again.Add(1) }
+		s.Abandon = nil
+		for i := 0; i < 10; i++ {
+			s.Spawn(i, i)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatalf("workers=%d: post-panic Drain = %v, want nil", workers, err)
+		}
+		if again.Load() != 10 {
+			t.Fatalf("workers=%d: post-panic round ran %d, want 10", workers, again.Load())
+		}
+	}
+}
+
+// TestSchedulerInjectedPanic drives the containment path through the
+// faultinject site instead of a panicking body — the chaos-test shape:
+// production task bodies, injected failure.
+func TestSchedulerInjectedPanic(t *testing.T) {
+	inj := faultinject.NewInjector(faultinject.Rule{
+		Site: "sched.task", Skip: 5, Count: 1, Action: faultinject.ActPanic,
+	})
+	faultinject.Install(inj)
+	t.Cleanup(faultinject.Uninstall)
+	var ran atomic.Int64
+	s := New(2, func(_ int, _ int) { ran.Add(1) })
+	for i := 0; i < 50; i++ {
+		s.Spawn(i, i)
+	}
+	err := s.Drain()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Drain = %v, want *PanicError from injected panic", err)
+	}
+	if inj.Triggered("sched.task") != 1 {
+		t.Fatalf("injector triggered %d times, want 1", inj.Triggered("sched.task"))
+	}
+	if ran.Load() >= 50 {
+		t.Fatal("injected panic did not abort the drain")
+	}
+}
+
+// TestSchedulerDrainStaticCancel pins that the static drain honors the
+// same cancellation contract as Drain.
+func TestSchedulerDrainStaticCancel(t *testing.T) {
+	var ran, abandoned atomic.Int64
+	var s *Scheduler[int]
+	s = New(4, func(_ int, _ int) {
+		if ran.Add(1) == 3 {
+			s.Cancel()
+		}
+	})
+	s.Abandon = func(int) { abandoned.Add(1) }
+	for i := 0; i < 100; i++ {
+		s.Spawn(i, i)
+	}
+	if err := s.DrainStatic(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("DrainStatic = %v, want ErrStopped", err)
+	}
+	if got := ran.Load() + abandoned.Load(); got != 100 {
+		t.Fatalf("ran %d + abandoned %d ≠ 100", ran.Load(), abandoned.Load())
+	}
 }

@@ -1,6 +1,7 @@
 package pathsel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -86,6 +87,13 @@ type BatchQueryResult struct {
 	// ExecStats is exactly what ExecuteQuery would report, including the
 	// query's own CacheHits/CacheMisses against the shared cache.
 	ExecStats
+	// Err is this query's execution outcome: nil on success (including a
+	// degraded answer — see ExecStats.Degraded), or the typed cause of a
+	// per-query kill (ErrDeadlineExceeded, ErrBudgetExceeded,
+	// ErrAdmissionDenied, ErrCancelled, ErrExecutionFailed). A per-query
+	// failure never aborts the rest of the batch; batch-wide abort is the
+	// caller's context's job.
+	Err error
 }
 
 // BatchResult is a whole workload's outcome.
@@ -128,6 +136,23 @@ func (e *Estimator) CacheStats() (CacheStats, bool) {
 // plans than a cold one; the results stay identical because every plan
 // computes the same relation.
 func (e *Estimator) ExecuteBatch(queries []Query, opt BatchOptions) (*BatchResult, error) {
+	return e.ExecuteBatchCtx(context.Background(), queries, opt)
+}
+
+// ExecuteBatchCtx is ExecuteBatch under a context. Cancelling ctx stops
+// the batch promptly: in-flight queries are killed through the same
+// cooperative cancellation path as ExecuteQueryCtx, no further query
+// starts executing, and every unexecuted entry comes back with Err set
+// to ErrCancelled (or ErrDeadlineExceeded, when ctx died of a deadline)
+// — the returned BatchResult is complete either way, with per-entry Err
+// recording each query's fate. Config.QueryTimeout additionally bounds
+// each query individually, and under Config.DegradeToEstimate killed or
+// rejected queries degrade to histogram answers instead of carrying an
+// Err.
+func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ps := make([]paths.Path, len(queries))
 	for i, q := range queries {
 		p, err := e.parseBounded(string(q))
@@ -161,8 +186,21 @@ func (e *Estimator) ExecuteBatch(queries []Query, opt BatchOptions) (*BatchResul
 		queryWorkers = 1
 	}
 	runOne := func(i int) {
-		st := e.executeParsed(g, ps[i], cache, queryWorkers)
-		res.Results[i] = BatchQueryResult{Query: queries[i], ExecStats: st}
+		// A dead batch context stops issuing work: remaining entries are
+		// marked with the batch's abort cause without touching the graph.
+		if err := ctx.Err(); err != nil {
+			res.Results[i] = BatchQueryResult{Query: queries[i], Err: translateCtxErr(err)}
+			return
+		}
+		qctx, qcancel := ctx, context.CancelFunc(func() {})
+		if e.cfg.QueryTimeout > 0 {
+			qctx, qcancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		}
+		canc, release := newQueryCanceller(qctx)
+		st, err := e.executeParsed(g, ps[i], cache, queryWorkers, canc)
+		release()
+		qcancel()
+		res.Results[i] = BatchQueryResult{Query: queries[i], ExecStats: st, Err: err}
 	}
 	if workers <= 1 {
 		for i := range ps {

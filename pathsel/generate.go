@@ -25,10 +25,10 @@ func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
 	for _, spec := range dataset.Table3() {
 		if spec.Name == name {
 			if scale <= 0 || scale > 1 {
-				return nil, fmt.Errorf("pathsel: scale %v out of (0,1]", scale)
+				return nil, fmt.Errorf("%w: scale %v out of (0,1]", ErrBadConfig, scale)
 			}
 			return &Graph{g: dataset.Generate(spec, scale, seed)}, nil
 		}
 	}
-	return nil, fmt.Errorf("pathsel: unknown dataset %q (have %v)", name, DatasetNames())
+	return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownDataset, name, DatasetNames())
 }

@@ -51,9 +51,11 @@ package pathsel
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/ordering"
 	"repro/internal/paths"
@@ -88,16 +90,27 @@ type Graph struct {
 }
 
 // NewGraph returns an empty graph with the given vertex count and label
-// vocabulary.
+// vocabulary. It panics on an empty vocabulary; NewGraphChecked is the
+// error-returning form.
 func NewGraph(numVertices int, labels []string) *Graph {
+	gr, err := NewGraphChecked(numVertices, labels)
+	if err != nil {
+		panic(err.Error())
+	}
+	return gr
+}
+
+// NewGraphChecked is NewGraph returning a typed error instead of
+// panicking: an empty label vocabulary yields ErrNoLabels.
+func NewGraphChecked(numVertices int, labels []string) (*Graph, error) {
 	if len(labels) == 0 {
-		panic("pathsel: a graph needs at least one edge label")
+		return nil, ErrNoLabels
 	}
 	g := graph.New(numVertices, len(labels))
 	for i, name := range labels {
 		g.SetLabelName(i, name)
 	}
-	return &Graph{g: g}
+	return &Graph{g: g}, nil
 }
 
 // LoadEdgeList reads a whitespace-separated `src dst label` edge list
@@ -116,11 +129,11 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 func (gr *Graph) AddEdge(src int, label string, dst int) (bool, error) {
 	l := gr.g.LabelByName(label)
 	if l < 0 {
-		return false, fmt.Errorf("pathsel: unknown label %q", label)
+		return false, fmt.Errorf("%w %q", ErrUnknownLabel, label)
 	}
 	if src < 0 || src >= gr.g.NumVertices() || dst < 0 || dst >= gr.g.NumVertices() {
-		return false, fmt.Errorf("pathsel: edge (%d,%d) outside vertex range [0,%d)",
-			src, dst, gr.g.NumVertices())
+		return false, fmt.Errorf("%w: edge (%d,%d) outside [0,%d)",
+			ErrVertexRange, src, dst, gr.g.NumVertices())
 	}
 	gr.frozen = nil
 	return gr.g.AddEdge(src, l, dst), nil
@@ -157,7 +170,7 @@ func (gr *Graph) csr() *graph.CSR {
 // parsePath resolves a "a/b/c" label-name path against the graph.
 func (gr *Graph) parsePath(q string) (paths.Path, error) {
 	if q == "" {
-		return nil, fmt.Errorf("pathsel: empty path query")
+		return nil, ErrEmptyPath
 	}
 	var p paths.Path
 	start := 0
@@ -166,7 +179,7 @@ func (gr *Graph) parsePath(q string) (paths.Path, error) {
 			name := q[start:i]
 			l := gr.g.LabelByName(name)
 			if l < 0 {
-				return nil, fmt.Errorf("pathsel: unknown label %q in path %q", name, q)
+				return nil, fmt.Errorf("%w %q in path %q", ErrUnknownLabel, name, q)
 			}
 			p = append(p, l)
 			start = i + 1
@@ -239,6 +252,41 @@ type Config struct {
 	// runs queries concurrently; each shard owns an equal slice of
 	// CacheBytes.
 	CacheShards int
+
+	// QueryTimeout, when > 0, bounds each executed query's wall-clock
+	// time: ExecuteQuery, ExecuteQueryCtx, and every query of a batch
+	// run under a per-query deadline of this duration (intersected with
+	// any caller-supplied context deadline). A query killed by the
+	// timeout returns ErrDeadlineExceeded — or degrades to the histogram
+	// estimate under DegradeToEstimate. Estimation-only methods
+	// (Estimate, EstimatePrefix) never need it: they are a constant-time
+	// histogram lookup.
+	QueryTimeout time.Duration
+	// MaxResultBytes, when > 0, bounds the memory of every relation a
+	// query materializes (content bytes, the relation cache's measure).
+	// It acts twice: at admission, queries whose histogram-projected
+	// peak relation would exceed the budget are rejected with
+	// ErrAdmissionDenied before touching the graph; and at runtime,
+	// every materialized relation is priced after its join step and the
+	// query is killed with ErrBudgetExceeded the moment one outgrows the
+	// budget.
+	MaxResultBytes int64
+	// MaxPlanCost, when > 0, is the admission gate on estimated plan
+	// cost: a query whose cheapest plan's estimated total intermediate
+	// volume (QueryPlan.EstimatedCost, in vertex pairs) exceeds it is
+	// rejected with ErrAdmissionDenied before execution. Because the
+	// gate prices the plan with the same histogram the planner uses, its
+	// cost is one plan search — no graph access.
+	MaxPlanCost float64
+	// DegradeToEstimate turns rejected and killed queries into degraded
+	// answers instead of errors: when a query is refused by the
+	// admission gate or aborted mid-flight (deadline, budget, context
+	// cancellation), ExecuteQuery returns the rounded histogram estimate
+	// in ExecStats.Result with ExecStats.Degraded set and the typed
+	// cause in ExecStats.DegradedBy, and a nil error. Execution
+	// *failures* (a contained panic, ErrExecutionFailed) still error:
+	// degradation is for resource policy, not for masking bugs.
+	DegradeToEstimate bool
 }
 
 func (c *Config) fill() error {
@@ -249,10 +297,13 @@ func (c *Config) fill() error {
 		c.Histogram = HistogramVOptimal
 	}
 	if c.MaxPathLength < 1 {
-		return fmt.Errorf("pathsel: MaxPathLength must be ≥ 1, got %d", c.MaxPathLength)
+		return fmt.Errorf("%w: MaxPathLength must be ≥ 1, got %d", ErrBadConfig, c.MaxPathLength)
 	}
 	if c.Buckets < 1 {
-		return fmt.Errorf("pathsel: Buckets must be ≥ 1, got %d", c.Buckets)
+		return fmt.Errorf("%w: Buckets must be ≥ 1, got %d", ErrBadConfig, c.Buckets)
+	}
+	if c.QueryTimeout < 0 {
+		return fmt.Errorf("%w: QueryTimeout must be ≥ 0, got %v", ErrBadConfig, c.QueryTimeout)
 	}
 	return nil
 }
@@ -265,6 +316,7 @@ type Estimator struct {
 	census *paths.Census
 	cfg    Config
 	cache  *relcache.Cache // persistent segment-relation cache; nil unless Config.CacheBytes > 0
+	pool   *exec.RelPool   // shared relation free list; abort paths drain back into it
 }
 
 // Build computes the exact selectivity distribution of all label paths up
@@ -281,6 +333,11 @@ func Build(gr *Graph, cfg Config) (*Estimator, error) {
 		return nil, err
 	}
 	e := &Estimator{gr: gr, ph: ph, census: census, cfg: cfg}
+	// One relation pool for the estimator's lifetime: every ExecuteQuery /
+	// ExecuteBatch draws its materialized relations here and releases them
+	// on completion and on every abort path, so cancelled queries leave no
+	// orphaned buffers behind (and warm workloads stop allocating).
+	e.pool = exec.NewRelPool(gr.NumVertices(), cfg.DensityThreshold)
 	if cfg.CacheBytes > 0 {
 		e.cache = relcache.New(relcache.Options{MaxBytes: cfg.CacheBytes, Shards: cfg.CacheShards})
 	}
@@ -290,12 +347,9 @@ func Build(gr *Graph, cfg Config) (*Estimator, error) {
 // Estimate returns e(ℓ) for a slash-separated label-name path, e.g.
 // "knows/likes/knows".
 func (e *Estimator) Estimate(q string) (float64, error) {
-	p, err := e.gr.parsePath(q)
+	p, err := e.parseBounded(q)
 	if err != nil {
 		return 0, err
-	}
-	if len(p) > e.cfg.MaxPathLength {
-		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
 	}
 	return e.ph.Estimate(p), nil
 }
@@ -306,12 +360,9 @@ func (e *Estimator) Estimate(q string) (float64, error) {
 // lexicographic ordering (OrderingLexAlph or OrderingLexCard) — the only
 // domain layout in which a prefix's extensions are contiguous.
 func (e *Estimator) EstimatePrefix(q string) (float64, error) {
-	p, err := e.gr.parsePath(q)
+	p, err := e.parseBounded(q)
 	if err != nil {
 		return 0, err
-	}
-	if len(p) > e.cfg.MaxPathLength {
-		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
 	}
 	return e.ph.EstimatePrefix(p)
 }
@@ -319,24 +370,18 @@ func (e *Estimator) EstimatePrefix(q string) (float64, error) {
 // TruePrefixSelectivity returns the exact aggregate selectivity of the
 // path and all of its extensions, from the build-time ground truth.
 func (e *Estimator) TruePrefixSelectivity(q string) (int64, error) {
-	p, err := e.gr.parsePath(q)
+	p, err := e.parseBounded(q)
 	if err != nil {
 		return 0, err
-	}
-	if len(p) > e.cfg.MaxPathLength {
-		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
 	}
 	return e.census.PrefixSelectivity(p), nil
 }
 
 // TrueSelectivity returns the exact f(ℓ) recorded at build time.
 func (e *Estimator) TrueSelectivity(q string) (int64, error) {
-	p, err := e.gr.parsePath(q)
+	p, err := e.parseBounded(q)
 	if err != nil {
 		return 0, err
-	}
-	if len(p) > e.cfg.MaxPathLength {
-		return 0, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
 	}
 	return e.census.Selectivity(p), nil
 }

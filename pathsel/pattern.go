@@ -22,7 +22,7 @@ const maxPatternExpansions = 10000
 // Examples: "knows/*/likes", "knows|likes/knows".
 func (gr *Graph) expandPattern(pattern string) ([]paths.Path, error) {
 	if pattern == "" {
-		return nil, fmt.Errorf("pathsel: empty pattern")
+		return nil, fmt.Errorf("%w: empty pattern", ErrEmptyPath)
 	}
 	segments := strings.Split(pattern, "/")
 	// Per segment, the set of admissible labels.
@@ -39,14 +39,14 @@ func (gr *Graph) expandPattern(pattern string) ([]paths.Path, error) {
 			for _, name := range strings.Split(seg, "|") {
 				l := gr.g.LabelByName(name)
 				if l < 0 {
-					return nil, fmt.Errorf("pathsel: unknown label %q in pattern %q", name, pattern)
+					return nil, fmt.Errorf("%w %q in pattern %q", ErrUnknownLabel, name, pattern)
 				}
 				options[i] = append(options[i], l)
 			}
 		default:
 			l := gr.g.LabelByName(seg)
 			if l < 0 {
-				return nil, fmt.Errorf("pathsel: unknown label %q in pattern %q", seg, pattern)
+				return nil, fmt.Errorf("%w %q in pattern %q", ErrUnknownLabel, seg, pattern)
 			}
 			options[i] = []int{l}
 		}
@@ -55,7 +55,7 @@ func (gr *Graph) expandPattern(pattern string) ([]paths.Path, error) {
 	for _, opts := range options {
 		count *= len(opts)
 		if count > maxPatternExpansions {
-			return nil, fmt.Errorf("pathsel: pattern %q expands to over %d paths", pattern, maxPatternExpansions)
+			return nil, fmt.Errorf("%w: pattern %q expands to over %d paths", ErrBadPattern, pattern, maxPatternExpansions)
 		}
 	}
 	out := make([]paths.Path, 0, count)
@@ -88,7 +88,7 @@ func (e *Estimator) EstimatePattern(pattern string) (float64, error) {
 	var total float64
 	for _, p := range ps {
 		if len(p) > e.cfg.MaxPathLength {
-			return 0, fmt.Errorf("pathsel: pattern %q expands beyond MaxPathLength %d", pattern, e.cfg.MaxPathLength)
+			return 0, fmt.Errorf("%w: pattern %q expands beyond %d", ErrPathTooLong, pattern, e.cfg.MaxPathLength)
 		}
 		total += e.ph.Estimate(p)
 	}

@@ -56,38 +56,38 @@ func LoadEstimator(r io.Reader) (*CompactEstimator, error) {
 	br := bufio.NewReader(r)
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("pathsel: reading label count: %w", err)
+		return nil, fmt.Errorf("%w: reading label count: %w", ErrBadSnapshot, err)
 	}
 	if count == 0 || count > 1<<16 {
-		return nil, fmt.Errorf("pathsel: implausible label count %d", count)
+		return nil, fmt.Errorf("%w: implausible label count %d", ErrBadSnapshot, count)
 	}
 	ce := &CompactEstimator{labels: make(map[string]int, count)}
 	for i := 0; i < int(count); i++ {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 		}
 		if n > 1<<12 {
-			return nil, fmt.Errorf("pathsel: implausible label length %d", n)
+			return nil, fmt.Errorf("%w: implausible label length %d", ErrBadSnapshot, n)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 		}
 		name := string(b)
 		if _, dup := ce.labels[name]; dup {
-			return nil, fmt.Errorf("pathsel: duplicate label %q", name)
+			return nil, fmt.Errorf("%w: duplicate label %q", ErrBadSnapshot, name)
 		}
 		ce.labels[name] = i
 		ce.names = append(ce.names, name)
 	}
 	ph, err := core.ReadPathHistogram(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
 	if ph.Ordering().NumLabels() != int(count) {
-		return nil, fmt.Errorf("pathsel: vocabulary size %d disagrees with ordering (%d labels)",
-			count, ph.Ordering().NumLabels())
+		return nil, fmt.Errorf("%w: vocabulary size %d disagrees with ordering (%d labels)",
+			ErrBadSnapshot, count, ph.Ordering().NumLabels())
 	}
 	ce.ph = ph
 	return ce, nil
@@ -96,7 +96,7 @@ func LoadEstimator(r io.Reader) (*CompactEstimator, error) {
 // parsePath resolves a slash-separated label-name path.
 func (ce *CompactEstimator) parsePath(q string) (paths.Path, error) {
 	if q == "" {
-		return nil, fmt.Errorf("pathsel: empty path query")
+		return nil, ErrEmptyPath
 	}
 	var p paths.Path
 	start := 0
@@ -105,14 +105,14 @@ func (ce *CompactEstimator) parsePath(q string) (paths.Path, error) {
 			name := q[start:i]
 			l, ok := ce.labels[name]
 			if !ok {
-				return nil, fmt.Errorf("pathsel: unknown label %q in path %q", name, q)
+				return nil, fmt.Errorf("%w %q in path %q", ErrUnknownLabel, name, q)
 			}
 			p = append(p, l)
 			start = i + 1
 		}
 	}
 	if len(p) > ce.ph.Ordering().K() {
-		return nil, fmt.Errorf("pathsel: path %q longer than covered length %d", q, ce.ph.Ordering().K())
+		return nil, fmt.Errorf("%w: %q exceeds covered length %d", ErrPathTooLong, q, ce.ph.Ordering().K())
 	}
 	return p, nil
 }

@@ -1,8 +1,12 @@
 package pathsel
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/bitset"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/paths"
@@ -58,6 +62,16 @@ type ExecStats struct {
 	// one. On a whole-query hit, Intermediates is empty and Work 0 —
 	// nothing intermediate was materialized.
 	CacheHits, CacheMisses int
+	// Degraded marks a partial result: the query was rejected by the
+	// admission gate or killed mid-flight under Config.DegradeToEstimate,
+	// and Result holds the rounded histogram estimate instead of the
+	// exact selectivity. Intermediates/Work/cache counters are zero — the
+	// degraded answer did not (or did not finish) touching the graph.
+	Degraded bool
+	// DegradedBy is the typed cause behind a degraded result
+	// (ErrAdmissionDenied, ErrDeadlineExceeded, ErrBudgetExceeded, or
+	// ErrCancelled); nil when Degraded is false.
+	DegradedBy error
 }
 
 // planner builds the exec.Planner view over this estimator's histogram.
@@ -67,7 +81,7 @@ type ExecStats struct {
 func (e *Estimator) planner(cache *relcache.Cache) exec.Planner {
 	pl := exec.Planner{Est: exec.EstimatorFunc(e.ph.Estimate)}
 	if cache != nil && e.cfg.BushyPlans {
-		pl.Cached = func(p paths.Path) bool { return cache.Contains(p, false) }
+		pl.Cached = func(p paths.Path) bool { return cache.Contains(p) }
 	}
 	return pl
 }
@@ -79,7 +93,7 @@ func (e *Estimator) parseBounded(q string) (paths.Path, error) {
 		return nil, err
 	}
 	if len(p) > e.cfg.MaxPathLength {
-		return nil, fmt.Errorf("pathsel: path %q longer than MaxPathLength %d", q, e.cfg.MaxPathLength)
+		return nil, fmt.Errorf("%w: %q exceeds %d", ErrPathTooLong, q, e.cfg.MaxPathLength)
 	}
 	return p, nil
 }
@@ -133,26 +147,127 @@ func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
 // sizes, so estimate-driven plan quality is measurable against the ground
 // truth. Unlike the histogram methods this touches the graph itself, with
 // cost proportional to the intermediate volumes.
+//
+// ExecuteQuery is ExecuteQueryCtx with a background context: the
+// resource-policy knobs (Config.QueryTimeout, MaxResultBytes,
+// MaxPlanCost, DegradeToEstimate) still apply; only external
+// cancellation needs the Ctx form.
 func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
+	return e.ExecuteQueryCtx(context.Background(), q)
+}
+
+// ExecuteQueryCtx is ExecuteQuery under a context: cancelling ctx (or
+// passing one whose deadline expires) kills the query mid-flight — the
+// abort reaches every join-step worker through the execution layer's
+// cooperative flag within a bounded amount of kernel work, pooled
+// relations are released, and the call returns ErrCancelled or
+// ErrDeadlineExceeded (or a degraded estimate, under
+// Config.DegradeToEstimate). Config.QueryTimeout, when set, is applied
+// on top of ctx as a per-query deadline.
+func (e *Estimator) ExecuteQueryCtx(ctx context.Context, q string) (ExecStats, error) {
 	p, err := e.parseBounded(q)
 	if err != nil {
 		return ExecStats{}, err
 	}
-	return e.executeParsed(e.gr.csr(), p, e.cache, e.cfg.Workers), nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		defer cancel()
+	}
+	canc, release := newQueryCanceller(ctx)
+	defer release()
+	return e.executeParsed(e.gr.csr(), p, e.cache, e.cfg.Workers, canc)
+}
+
+// admissionBytesPerPair prices one projected vertex pair for the
+// admission gate's size projection: a sparse row entry is a 4-byte id,
+// doubled to absorb row headers and dense-promotion slack. Deliberately
+// conservative — admission may overestimate and reject, never
+// underestimate and then be caught anyway by the runtime budget check.
+const admissionBytesPerPair = 8
+
+// admit is the cost-based admission gate: it prices the chosen plan with
+// the same histogram the planner used and rejects the query before any
+// graph access when the estimated cost exceeds Config.MaxPlanCost, or
+// when the projected peak relation size (the plan's estimated
+// intermediate volume or the query's own estimated selectivity,
+// whichever is larger, at admissionBytesPerPair) exceeds
+// Config.MaxResultBytes.
+func (e *Estimator) admit(plan QueryPlan, finalEst float64) error {
+	if e.cfg.MaxPlanCost > 0 && plan.EstimatedCost > e.cfg.MaxPlanCost {
+		return fmt.Errorf("%w: estimated plan cost %g exceeds MaxPlanCost %g",
+			ErrAdmissionDenied, plan.EstimatedCost, e.cfg.MaxPlanCost)
+	}
+	if e.cfg.MaxResultBytes > 0 {
+		proj := int64(math.Ceil(math.Max(plan.EstimatedCost, finalEst))) * admissionBytesPerPair
+		if proj > e.cfg.MaxResultBytes {
+			return fmt.Errorf("%w: projected relation size %d B exceeds MaxResultBytes %d B",
+				ErrAdmissionDenied, proj, e.cfg.MaxResultBytes)
+		}
+	}
+	return nil
+}
+
+// degradable reports whether an abort cause is a resource-policy kill
+// that Config.DegradeToEstimate may soften into a histogram answer.
+// Execution failures (contained panics) are excluded: those are bugs to
+// surface, not load to shed.
+func degradable(cause error) bool {
+	return errors.Is(cause, ErrAdmissionDenied) || errors.Is(cause, ErrDeadlineExceeded) ||
+		errors.Is(cause, ErrBudgetExceeded) || errors.Is(cause, ErrCancelled)
+}
+
+// degrade resolves a rejected or killed query: under
+// Config.DegradeToEstimate (and a degradable cause) it answers with the
+// rounded histogram estimate, marked Degraded with the typed cause;
+// otherwise the cause propagates as the error.
+func (e *Estimator) degrade(plan QueryPlan, p paths.Path, cause error) (ExecStats, error) {
+	if !e.cfg.DegradeToEstimate || !degradable(cause) {
+		return ExecStats{Plan: plan}, cause
+	}
+	r := int64(math.Round(e.ph.Estimate(p)))
+	if r < 0 {
+		r = 0
+	}
+	return ExecStats{Plan: plan, Result: r, Degraded: true, DegradedBy: cause}, nil
 }
 
 // executeParsed plans and executes one parsed query against the given
-// (possibly nil) segment cache — the shared core of ExecuteQuery and
-// ExecuteBatch. g is passed pre-frozen so concurrent batch workers never
-// race on the lazy CSR freeze.
-func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int) ExecStats {
+// (possibly nil) segment cache — the shared core of ExecuteQueryCtx and
+// ExecuteBatchCtx. g is passed pre-frozen so concurrent batch workers
+// never race on the lazy CSR freeze; canc carries the caller's
+// cancellation signal into every kernel. The result relation is drawn
+// from (and immediately returned to) the estimator's pool — only its
+// counters survive into ExecStats.
+func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int, canc *exec.Canceller) (ExecStats, error) {
 	plan := e.planParsed(p, cache)
-	opt := exec.Options{DensityThreshold: e.cfg.DensityThreshold, Workers: workers, Cache: cache}
+	if err := e.admit(plan, e.ph.Estimate(p)); err != nil {
+		return e.degrade(plan, p, err)
+	}
+	opt := exec.Options{
+		DensityThreshold: e.cfg.DensityThreshold,
+		Workers:          workers,
+		Cache:            cache,
+		Cancel:           canc,
+		MaxResultBytes:   e.cfg.MaxResultBytes,
+		Pool:             e.pool,
+	}
 	var st exec.Stats
+	var err error
 	if plan.Tree != nil {
-		_, st = exec.ExecuteTree(g, p, plan.Tree, opt)
+		var rel *bitset.HybridRelation
+		rel, st, err = exec.ExecuteTreeChecked(g, p, plan.Tree, opt)
+		e.pool.Put(rel)
 	} else {
-		_, st = exec.ExecutePlan(g, p, exec.Plan{Start: plan.Start}, opt)
+		var rel *bitset.HybridRelation
+		rel, st, err = exec.ExecutePlanChecked(g, p, exec.Plan{Start: plan.Start}, opt)
+		e.pool.Put(rel)
+	}
+	if err != nil {
+		return e.degrade(plan, p, translateExecErr(err))
 	}
 	return ExecStats{
 		Plan:          plan,
@@ -161,5 +276,5 @@ func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Ca
 		Result:        st.Result,
 		CacheHits:     st.CacheHits,
 		CacheMisses:   st.CacheMisses,
-	}
+	}, nil
 }
