@@ -29,13 +29,15 @@
 // rows (compose/*, join/*) time microsecond-scale operations whose
 // ratios legitimately swing ±30% between runs at low iteration counts,
 // so they are informational, while every engine-level row is gated.
-// The cache section (BENCH_cache.json) gets a stricter rule: a cache/*
-// case is skipped unless both sides measured at least cacheNoiseMult ×
-// -min-ns, because its rows time whole workload passes — warm passes are
-// copy-bound, and on small datasets even cold passes are few-ms — whose
-// cold/warm and cold/populate ratios legitimately jitter far more than
-// any kernel ratio at low iteration counts; hard-failing on that jitter
-// would make the gate cry wolf.
+// The workload-pass sections (BENCH_cache.json's cache/* rows and
+// BENCH_serve.json's serve/* rows) get a stricter rule: such a case is
+// skipped unless both sides measured at least cacheNoiseMult × -min-ns,
+// because these rows time whole workload passes — warm passes are
+// copy-bound, the serve rows ride the HTTP stack, and on small datasets
+// even cold passes are few-ms — whose cold/warm and cold/populate
+// ratios legitimately jitter far more than any kernel ratio at low
+// iteration counts; hard-failing on that jitter would make the gate cry
+// wolf.
 // A baseline case that has no matching case in the new report (same
 // name, dataset, k, and workers) fails the gate: silently dropping a
 // measured case is itself a regression.
@@ -51,18 +53,21 @@ import (
 	"repro/internal/experiments"
 )
 
-// cacheNoiseMult raises the noise floor for the cache section: a cache/*
-// ratio is only gated when both sides measured at least this many
-// multiples of -min-ns. Cache rows time whole workload passes whose
-// ratios divide two few-millisecond numbers — warm passes serve whole
-// queries by copy, and on small datasets even the cold and populate
-// passes sit in the single-digit-ms band — so their cold/warm and
-// cold/populate ratios legitimately jitter far beyond the engine rows
-// the default floor was tuned for.
+// cacheNoiseMult raises the noise floor for the workload-pass sections:
+// a cache/* or serve/* ratio is only gated when both sides measured at
+// least this many multiples of -min-ns. These rows time whole workload
+// passes whose ratios divide two few-millisecond numbers — warm passes
+// serve whole queries by copy (the serve rows additionally ride the
+// HTTP stack), and on small datasets even the cold passes sit in the
+// single-digit-ms band — so their cold/warm ratios legitimately jitter
+// far beyond the engine rows the default floor was tuned for.
 const cacheNoiseMult = 10
 
-// isCacheRow recognizes the cache section's workload rows.
-func isCacheRow(name string) bool { return strings.HasPrefix(name, "cache/") }
+// isWorkloadRow recognizes the whole-workload-pass rows: the cache
+// section (BENCH_cache.json) and the serving section (BENCH_serve.json).
+func isWorkloadRow(name string) bool {
+	return strings.HasPrefix(name, "cache/") || strings.HasPrefix(name, "serve/")
+}
 
 // caseKey identifies one comparable measurement across reports.
 type caseKey struct {
@@ -121,8 +126,8 @@ func Diff(base, fresh *experiments.PerfReport, threshold float64, minNs int64) (
 			skipped = append(skipped, fmt.Sprintf("%s: new op %dns below the %dns noise floor", key, n.NsPerOp, minNs))
 			continue
 		}
-		if floor := cacheNoiseMult * minNs; isCacheRow(b.Name) && (b.NsPerOp < floor || n.NsPerOp < floor) {
-			skipped = append(skipped, fmt.Sprintf("%s: cache workload pass under the %dns ratio-jitter floor (%dns vs %dns)",
+		if floor := cacheNoiseMult * minNs; isWorkloadRow(b.Name) && (b.NsPerOp < floor || n.NsPerOp < floor) {
+			skipped = append(skipped, fmt.Sprintf("%s: workload pass under the %dns ratio-jitter floor (%dns vs %dns)",
 				key, floor, b.NsPerOp, n.NsPerOp))
 			continue
 		}

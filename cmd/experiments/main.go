@@ -12,10 +12,12 @@
 // With -csv, each experiment additionally writes a machine-readable CSV
 // file (table4.csv, figure2.csv, …) into DIR for plotting.
 //
-// The -bench-json, -bench-exec-json, -bench-par-exec-json, and
-// -bench-bushy-json flags instead emit the committed BENCH_*.json perf
-// artifacts (schema in docs/benchmarks.md) and exit; -workers N overrides
-// the worker count of every bench emitter (default GOMAXPROCS).
+// The -bench-json, -bench-exec-json, -bench-par-exec-json,
+// -bench-bushy-json, -bench-cache-json, and -bench-serve-json flags
+// instead emit the committed BENCH_*.json perf artifacts (schema in
+// docs/benchmarks.md) and exit; -workers N overrides the worker count of
+// every bench emitter (default GOMAXPROCS; the serve bench ignores it —
+// its rows are keyed by request concurrency instead).
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	benchParExecJSON := flag.String("bench-par-exec-json", "", "run only the parallel-executor scaling bench and write a BENCH JSON report to this file, then exit")
 	benchBushyJSON := flag.String("bench-bushy-json", "", "run only the bushy-plan/join-kernel perf bench and write a BENCH JSON report to this file, then exit")
 	benchCacheJSON := flag.String("bench-cache-json", "", "run only the segment-relation cache workload bench (cold vs warm) and write a BENCH JSON report to this file, then exit")
+	benchServeJSON := flag.String("bench-serve-json", "", "run only the serving-layer load bench (cold vs warm Zipf passes over HTTP) and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
 	flag.Parse()
@@ -63,6 +66,9 @@ func main() {
 		}},
 		{*benchCacheJSON, func() (*experiments.PerfReport, error) {
 			return experiments.RunCacheBench(*scale, *benchIters, *workers)
+		}},
+		{*benchServeJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunServeBench(*scale, *benchIters)
 		}},
 	} {
 		if b.path == "" {
@@ -87,7 +93,7 @@ func main() {
 		fmt.Printf("wrote perf bench report to %s\n", b.path)
 	}
 	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" ||
-		*benchBushyJSON != "" || *benchCacheJSON != "" {
+		*benchBushyJSON != "" || *benchCacheJSON != "" || *benchServeJSON != "" {
 		return
 	}
 

@@ -1,0 +1,171 @@
+// Command pathserve runs the engine as a long-lived query service: it
+// builds one pathsel.Estimator — over an edge-list file or a generated
+// Table-3 dataset — and serves it over HTTP (internal/serve), sharing
+// the estimator's statistics, relation pool, and persistent relation
+// cache across every concurrent request. The estimator's resource
+// policy is exposed as flags: -timeout bounds each request, -max-cost
+// and -max-result-bytes gate admission, and -degrade turns kills into
+// degraded 200s carrying the histogram estimate.
+//
+// Usage:
+//
+//	pathserve -dataset snap-freebase-full -scale 0.05 -k 3    # generated dataset
+//	pathserve -graph moreno.txt -k 3 -timeout 100ms -degrade  # edge-list file
+//
+// Endpoints: GET /query?q=a/b/c (exact selectivity with plan and cache
+// stats), GET /stats (vocabulary, counters, cache occupancy), GET
+// /healthz. The server shuts down gracefully on SIGINT/SIGTERM, letting
+// in-flight queries finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pathsel"
+)
+
+// options is the flag set, separated from main so tests can exercise
+// the build path without a process.
+type options struct {
+	addr    string
+	graph   string
+	dataset string
+	scale   float64
+	seed    int64
+
+	k       int
+	buckets int
+
+	workers    int
+	bushy      bool
+	cacheBytes int64
+	shards     int
+
+	timeout        time.Duration
+	maxCost        float64
+	maxResultBytes int64
+	degrade        bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("pathserve", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&o.graph, "graph", "", "edge-list file (src dst label per line)")
+	fs.StringVar(&o.dataset, "dataset", "", "generated dataset name (alternative to -graph)")
+	fs.Float64Var(&o.scale, "scale", 0.05, "generated dataset scale in (0,1]")
+	fs.Int64Var(&o.seed, "seed", 42, "generated dataset seed")
+	fs.IntVar(&o.k, "k", 3, "maximum path length served")
+	fs.IntVar(&o.buckets, "buckets", 64, "histogram bucket budget")
+	fs.IntVar(&o.workers, "workers", 1, "per-query join parallelism (serving saturates cores with request parallelism; raise only for lone heavy queries)")
+	fs.BoolVar(&o.bushy, "bushy", false, "enable bushy plan search")
+	fs.Int64Var(&o.cacheBytes, "cache-bytes", pathsel.DefaultCacheBytes, "persistent relation cache capacity (0 disables)")
+	fs.IntVar(&o.shards, "cache-shards", 0, "relation cache shard count (0 = default)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
+	fs.Float64Var(&o.maxCost, "max-cost", 0, "admission bound on estimated plan cost (0 = none)")
+	fs.Int64Var(&o.maxResultBytes, "max-result-bytes", 0, "budget on any materialized relation (0 = none)")
+	fs.BoolVar(&o.degrade, "degrade", false, "answer resource kills with the histogram estimate instead of an error")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if (o.graph == "") == (o.dataset == "") {
+		return nil, fmt.Errorf("exactly one of -graph or -dataset is required")
+	}
+	return o, nil
+}
+
+// buildServer loads the graph, builds the estimator, and wraps it in
+// the serving layer.
+func buildServer(o *options) (*serve.Server, *pathsel.Graph, error) {
+	var g *pathsel.Graph
+	if o.graph != "" {
+		f, err := os.Open(o.graph)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err = pathsel.LoadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		var err error
+		g, err = pathsel.GenerateDataset(o.dataset, o.scale, o.seed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	est, err := pathsel.Build(g, pathsel.Config{
+		MaxPathLength:     o.k,
+		Buckets:           o.buckets,
+		Workers:           o.workers,
+		BushyPlans:        o.bushy,
+		CacheBytes:        o.cacheBytes,
+		CacheShards:       o.shards,
+		QueryTimeout:      o.timeout,
+		MaxPlanCost:       o.maxCost,
+		MaxResultBytes:    o.maxResultBytes,
+		DegradeToEstimate: o.degrade,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return serve.New(est), g, nil
+}
+
+func run(o *options) error {
+	start := time.Now()
+	srv, g, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pathserve: %d vertices, %d edges, labels %v, built in %v\n",
+		g.NumVertices(), g.NumEdges(), g.Labels(), time.Since(start).Round(time.Millisecond))
+
+	hs := &http.Server{Addr: o.addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("pathserve: listening on http://%s (GET /query?q=a/b/c, /stats, /healthz)\n", o.addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("pathserve: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		c := srv.Counters()
+		fmt.Printf("pathserve: served %d requests (%d ok, %d degraded, %d rejected, %d timeout, %d failed)\n",
+			c.Requests, c.OK, c.Degraded, c.Rejected, c.Timeout, c.Failed)
+		return nil
+	}
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "pathserve:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "pathserve:", err)
+		os.Exit(1)
+	}
+}

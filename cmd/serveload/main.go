@@ -1,0 +1,142 @@
+// Command serveload drives a running pathserve instance with an
+// open-loop Zipf workload and reports what the serving layer is judged
+// by: latency percentiles (service and sojourn), achieved throughput,
+// cache hit rate, and how many requests were shed, degraded, or timed
+// out. It fetches the server's /stats endpoint for the label vocabulary
+// and maximum path length, builds a ranked query pool, and replays a
+// Zipf-distributed arrival trace (internal/workload) against /query.
+//
+// Usage:
+//
+//	serveload -url http://127.0.0.1:8080 -n 2000 -concurrency 8            # saturation (capacity)
+//	serveload -url http://127.0.0.1:8080 -n 2000 -rate 500 -zipf-s 1.2     # open loop at 500 qps
+//	serveload ... -json report.json                                        # machine-readable report
+//
+// Rate 0 replays the whole trace as fast as the concurrency allows
+// (capacity mode — read the service latencies); a positive rate holds
+// the arrival process fixed regardless of server speed (open loop —
+// read the sojourn latencies, which charge queue wait).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "pathserve base URL")
+	n := flag.Int("n", 1000, "trace length (number of requests)")
+	rate := flag.Float64("rate", 0, "arrival rate in qps (0 = saturation: replay as fast as concurrency allows)")
+	concurrency := flag.Int("concurrency", 4, "replayer workers (max in-flight requests)")
+	poolSize := flag.Int("pool", 64, "distinct queries in the Zipf pool")
+	maxLen := flag.Int("maxlen", 0, "longest query in the pool (0 = the server's max path length)")
+	zipfS := flag.Float64("zipf-s", workload.DefaultZipfS, "Zipf skew exponent (> 1)")
+	zipfV := flag.Float64("zipf-v", workload.DefaultZipfV, "Zipf offset (>= 1)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	flag.Parse()
+
+	if err := run(*url, *n, *rate, *concurrency, *poolSize, *maxLen, *zipfS, *zipfV, *seed, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+// fetchStats asks the server what queries it can answer.
+func fetchStats(baseURL string) (*serve.StatsResponse, error) {
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats answered %s", resp.Status)
+	}
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding /stats: %w", err)
+	}
+	if len(st.Labels) == 0 || st.MaxPathLength < 1 {
+		return nil, fmt.Errorf("/stats reports an unusable vocabulary: %d labels, k=%d", len(st.Labels), st.MaxPathLength)
+	}
+	return &st, nil
+}
+
+func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int, zipfS, zipfV float64, seed int64, jsonOut string) error {
+	st, err := fetchStats(baseURL)
+	if err != nil {
+		return err
+	}
+	if maxLen <= 0 || maxLen > st.MaxPathLength {
+		maxLen = st.MaxPathLength
+	}
+	pool, err := workload.QueryPool(len(st.Labels), maxLen, poolSize, seed)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.ZipfTrace(workload.TraceOptions{
+		Pool: pool, S: zipfS, V: zipfV, Rate: rate, N: n, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	trace, err := serve.TraceQueries(tr, st.Labels)
+	if err != nil {
+		return err
+	}
+
+	mode := "saturation"
+	if rate > 0 {
+		mode = fmt.Sprintf("open loop @ %g qps", rate)
+	}
+	fmt.Printf("serveload: %d requests over %d distinct queries (zipf s=%g), %s, concurrency %d\n",
+		len(trace), len(pool), zipfS, mode, concurrency)
+
+	rep, err := serve.RunLoad(baseURL, trace, serve.LoadOptions{Concurrency: concurrency})
+	if err != nil {
+		return err
+	}
+	printReport(rep, rate)
+
+	if jsonOut == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+func printReport(rep *serve.LoadReport, rate float64) {
+	fmt.Printf("  outcomes: %d ok, %d degraded, %d rejected, %d overload, %d timeout, %d failed, %d bad, %d transport errors\n",
+		rep.OK, rep.Degraded, rep.Rejected, rep.Overload, rep.Timeout, rep.Failed, rep.BadRequest, rep.TransportErrors)
+	fmt.Printf("  throughput: %.0f qps over %v\n", rep.QPS, time.Duration(rep.ElapsedNs).Round(time.Millisecond))
+	fmt.Printf("  cache: %d hits / %d misses (hit rate %.1f%%)\n",
+		rep.CacheHits, rep.CacheMisses, 100*rep.HitRate())
+	lat := func(name string, s serve.LatencySummary) {
+		fmt.Printf("  %s latency: p50 %v  p95 %v  p99 %v  max %v\n", name,
+			time.Duration(s.P50Ns).Round(time.Microsecond),
+			time.Duration(s.P95Ns).Round(time.Microsecond),
+			time.Duration(s.P99Ns).Round(time.Microsecond),
+			time.Duration(s.MaxNs).Round(time.Microsecond))
+	}
+	lat("service", rep.Service)
+	if rate > 0 {
+		lat("sojourn", rep.Sojourn)
+	}
+}

@@ -265,7 +265,13 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lrel, li, lh, lm, lerr = tx.run(t.Left, lw)
+			// The subtree runs on this raw goroutine, not a scheduler
+			// worker, so a panic at a join-node boundary must be contained
+			// here or it crashes the process.
+			lerr = containPanics(func() (err error) {
+				lrel, li, lh, lm, err = tx.run(t.Left, lw)
+				return err
+			})
 			if lerr != nil {
 				tx.opt.Cancel.CancelIfSet(lerr)
 			}
@@ -370,7 +376,18 @@ func ExecuteTreeChecked(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options)
 		opt.Cancel = &Canceller{}
 	}
 	tx := &treeExec{g: g, p: p, opt: opt}
-	rel, ints, hits, misses, err := tx.run(tree, sched.WorkerCount(opt.Workers))
+	// Preconditions (empty path, malformed tree) have panicked above;
+	// from here a caller-goroutine panic anywhere in the recursion is
+	// contained as a typed error, mirroring ExecutePlanChecked.
+	var (
+		rel          *bitset.HybridRelation
+		ints         []int64
+		hits, misses int
+	)
+	err := containPanics(func() (e error) {
+		rel, ints, hits, misses, e = tx.run(tree, sched.WorkerCount(opt.Workers))
+		return e
+	})
 	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints,
 		CacheHits: hits, CacheMisses: misses}
 	if err != nil {

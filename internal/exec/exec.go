@@ -2,13 +2,38 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/bitset"
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/paths"
 	"repro/internal/relcache"
+	"repro/internal/sched"
 )
+
+// callerPanic converts a panic recovered on the calling goroutine into
+// the same typed *sched.PanicError the scheduler produces for a panic
+// contained on a worker; Worker −1 marks the caller's own goroutine.
+// The checked executors use it so a panic anywhere on the execution
+// path — a fault-injection site, a kernel bug — surfaces as an error
+// instead of unwinding through the caller (in a server, that unwind
+// severs the client's connection).
+func callerPanic(r any) error {
+	return &sched.PanicError{Worker: -1, Value: r, Stack: debug.Stack()}
+}
+
+// containPanics invokes fn, converting an escaping panic into a
+// callerPanic error. Precondition panics (caller bugs) must be raised
+// before entering fn, not inside it.
+func containPanics(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = callerPanic(r)
+		}
+	}()
+	return fn()
+}
 
 // Direction is one of the two endpoint join orders for a path query. It
 // survives as convenience API over the general Plan: Forward is the plan
@@ -207,7 +232,7 @@ func ExecutePlan(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.Hy
 // at all — is bit-identical to an unchecked run. Like ExecutePlan it
 // panics on an empty path or an out-of-range plan start (caller bugs,
 // not runtime failures).
-func ExecutePlanChecked(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bitset.HybridRelation, Stats, error) {
+func ExecutePlanChecked(g *graph.CSR, p paths.Path, plan Plan, opt Options) (rel *bitset.HybridRelation, st Stats, err error) {
 	k := len(p)
 	if k == 0 {
 		panic("exec: empty path query")
@@ -215,13 +240,25 @@ func ExecutePlanChecked(g *graph.CSR, p paths.Path, plan Plan, opt Options) (*bi
 	if plan.Start < 0 || plan.Start >= k {
 		panic(fmt.Sprintf("exec: plan start %d out of range [0,%d)", plan.Start, k))
 	}
-	st := Stats{Plan: plan}
+	st = Stats{Plan: plan}
 	n := g.NumVertices()
 	if err := opt.Cancel.Err(); err != nil {
 		return nil, st, err
 	}
 	sc := newSegCache(opt.Cache, n, opt.DensityThreshold)
 	var cur, buf *bitset.HybridRelation
+	// Preconditions are validated; from here every panic — fault
+	// injection at a step boundary, a kernel bug on the caller's own
+	// goroutine — is contained as a typed error, with the in-flight
+	// relations released, matching the contract above. (Worker-side
+	// panics are contained by the scheduler before they reach here.)
+	defer func() {
+		if r := recover(); r != nil {
+			putRel(opt.Pool, cur)
+			putRel(opt.Pool, buf)
+			rel, err = nil, callerPanic(r)
+		}
+	}()
 	fail := func(err error) (*bitset.HybridRelation, Stats, error) {
 		putRel(opt.Pool, cur)
 		putRel(opt.Pool, buf)

@@ -46,6 +46,15 @@ type PerfResult struct {
 	Iters   int     `json:"iters"`
 	NsPerOp int64   `json:"ns_per_op"`
 	Speedup float64 `json:"speedup_vs_baseline,omitempty"` // filled for engine pairs
+
+	// Latency percentiles and achieved throughput, filled only by the
+	// serving bench (serve/* rows), whose operation is a whole load pass
+	// rather than a single call. Additive and omitempty, so the schema
+	// version is unchanged and non-serving rows are byte-identical.
+	P50Ns int64   `json:"p50_ns,omitempty"`
+	P95Ns int64   `json:"p95_ns,omitempty"`
+	P99Ns int64   `json:"p99_ns,omitempty"`
+	QPS   float64 `json:"qps,omitempty"`
 }
 
 // PerfReport is the committed BENCH_*.json artifact: a snapshot of the

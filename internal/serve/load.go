@@ -1,0 +1,272 @@
+package serve
+
+// The open-loop load harness: replay a query-arrival trace against a
+// running server over real HTTP, measuring what the serving layer is
+// judged by — latency percentiles at a given offered load, achieved
+// throughput, cache hit rate, and how many requests were shed, degraded,
+// or timed out. Open loop means arrival times come from the trace, not
+// from the server: when the server lags, arrivals queue (and the queue
+// wait is charged to sojourn latency) instead of the harness politely
+// slowing down — the coordinated-omission mistake closed-loop harnesses
+// make.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TimedQuery is one load-harness arrival: a wire-format query string and
+// its scheduled offset from the run start.
+type TimedQuery struct {
+	At    time.Duration `json:"at_ns"`
+	Query string        `json:"query"`
+}
+
+// TraceQueries renders a workload trace into wire-format timed queries,
+// joining each path's label ids through the vocabulary.
+func TraceQueries(tr []workload.Arrival, labels []string) ([]TimedQuery, error) {
+	out := make([]TimedQuery, len(tr))
+	for i, a := range tr {
+		parts := make([]string, len(a.Query))
+		for j, l := range a.Query {
+			if l < 0 || l >= len(labels) {
+				return nil, fmt.Errorf("serve: trace arrival %d label id %d outside vocabulary of %d", i, l, len(labels))
+			}
+			parts[j] = labels[l]
+		}
+		out[i] = TimedQuery{At: a.At, Query: strings.Join(parts, "/")}
+	}
+	return out, nil
+}
+
+// LoadOptions tunes one RunLoad call.
+type LoadOptions struct {
+	// Concurrency is the number of replayer workers — the maximum
+	// in-flight requests (≥ 1; 0 selects 1). Arrivals past that queue.
+	Concurrency int
+	// Client issues the requests (nil selects http.DefaultClient).
+	Client *http.Client
+}
+
+// LatencySummary is a latency distribution in nanoseconds.
+type LatencySummary struct {
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+}
+
+// LoadReport is one load run's outcome.
+type LoadReport struct {
+	// Queries is the trace length; the outcome counters below partition
+	// it.
+	Queries    int   `json:"queries"`
+	OK         int64 `json:"ok"`
+	Degraded   int64 `json:"degraded"`
+	BadRequest int64 `json:"bad_request"`
+	Rejected   int64 `json:"rejected"`
+	Overload   int64 `json:"overload"`
+	Timeout    int64 `json:"timeout"`
+	Failed     int64 `json:"failed"`
+	// TransportErrors counts requests that never produced an HTTP
+	// response (connection refused, client-side timeout).
+	TransportErrors int64 `json:"transport_errors"`
+
+	// CacheHits/CacheMisses sum the per-response cache counters of every
+	// 2xx answer.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// Elapsed is first-arrival to last-response; QPS is Queries/Elapsed —
+	// achieved throughput, which under an open-loop rate only matches the
+	// offered rate while the server keeps up.
+	ElapsedNs int64   `json:"elapsed_ns"`
+	QPS       float64 `json:"qps"`
+
+	// Service is the request-issue → response latency distribution;
+	// Sojourn additionally charges each arrival its queue wait (scheduled
+	// arrival → response). In saturation mode (a trace with all arrivals
+	// at 0) sojourn mostly measures the harness's own backlog — capacity
+	// runs read Service, open-loop runs read Sojourn.
+	Service LatencySummary `json:"service"`
+	Sojourn LatencySummary `json:"sojourn"`
+}
+
+// HitRate returns CacheHits / (CacheHits + CacheMisses), or 0.
+func (r *LoadReport) HitRate() float64 {
+	if r.CacheHits+r.CacheMisses == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
+}
+
+// summarize reduces a latency sample to its summary. ns is consumed
+// (sorted in place).
+func summarize(ns []int64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	pct := func(q float64) int64 {
+		i := int(q*float64(len(ns))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ns) {
+			i = len(ns) - 1
+		}
+		return ns[i]
+	}
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return LatencySummary{
+		P50Ns:  pct(0.50),
+		P95Ns:  pct(0.95),
+		P99Ns:  pct(0.99),
+		MaxNs:  ns[len(ns)-1],
+		MeanNs: sum / int64(len(ns)),
+	}
+}
+
+// RunLoad replays the trace against the server at baseURL and collects
+// the report. The trace must be sorted by arrival time (ZipfTrace
+// output is). RunLoad returns an error only for a malformed baseURL —
+// per-request failures are counted, not fatal, because measuring how a
+// server fails under load is the point.
+func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, error) {
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("serve: bad base URL %q: %w", baseURL, err)
+	}
+	if len(trace) == 0 {
+		return &LoadReport{}, nil
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := opt.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+
+	var mu sync.Mutex
+	rep := &LoadReport{Queries: len(trace)}
+	service := make([]int64, 0, len(trace))
+	sojourn := make([]int64, 0, len(trace))
+
+	// The dispatcher owns the clock: it releases each arrival at its
+	// scheduled time into a queue deep enough to never block, so a slow
+	// server cannot slow the arrival process down. Workers drain the
+	// queue; an arrival's sojourn starts at its *scheduled* time whether
+	// or not a worker was free then.
+	jobs := make(chan int, len(trace))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tq := trace[i]
+				issued := time.Now()
+				st, hits, misses, transportErr := doQuery(client, baseURL, tq.Query)
+				done := time.Now()
+				mu.Lock()
+				if transportErr {
+					rep.TransportErrors++
+				} else {
+					switch st.status {
+					case http.StatusOK:
+						if st.degraded {
+							rep.Degraded++
+						} else {
+							rep.OK++
+						}
+						rep.CacheHits += int64(hits)
+						rep.CacheMisses += int64(misses)
+					case http.StatusBadRequest:
+						rep.BadRequest++
+					case http.StatusTooManyRequests:
+						rep.Rejected++
+					case http.StatusGatewayTimeout:
+						rep.Timeout++
+					case http.StatusInternalServerError:
+						rep.Failed++
+					default:
+						rep.Overload++
+					}
+				}
+				service = append(service, done.Sub(issued).Nanoseconds())
+				soj := done.Sub(start.Add(tq.At)).Nanoseconds()
+				if soj < 0 {
+					soj = 0
+				}
+				sojourn = append(sojourn, soj)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i, tq := range trace {
+		if d := time.Until(start.Add(tq.At)); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.ElapsedNs = time.Since(start).Nanoseconds()
+	if rep.ElapsedNs > 0 {
+		rep.QPS = float64(rep.Queries) / (float64(rep.ElapsedNs) / float64(time.Second))
+	}
+	rep.Service = summarize(service)
+	rep.Sojourn = summarize(sojourn)
+	return rep, nil
+}
+
+// queryOutcome is the slice of a response RunLoad classifies on.
+type queryOutcome struct {
+	status   int
+	degraded bool
+}
+
+// doQuery issues one query and decodes just enough of the answer.
+func doQuery(client *http.Client, baseURL, q string) (out queryOutcome, hits, misses int, transportErr bool) {
+	resp, err := client.Get(baseURL + "/query?q=" + url.QueryEscape(q))
+	if err != nil {
+		return queryOutcome{}, 0, 0, true
+	}
+	defer resp.Body.Close()
+	out.status = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err == nil {
+			out.degraded = qr.Degraded
+			hits, misses = qr.CacheHits, qr.CacheMisses
+		}
+	} else {
+		// Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return out, hits, misses, false
+}
+
+// WriteJSON encodes the report, indented, to w — the serveload CLI's
+// -json output.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,256 @@
+// Package serve is the engine's serving layer: an HTTP front end over
+// one persistent pathsel.Estimator, shared — statistics, relation
+// cache, and relation pool alike — by every concurrent request. It
+// turns the library's per-query contract (context cancellation,
+// Config.QueryTimeout deadlines, cost-based admission, degradation to
+// estimate) into wire semantics: each resource-policy outcome maps to a
+// distinct HTTP status code and a typed JSON body, so clients and load
+// balancers can tell an overloaded server (429/503) from a slow query
+// (504) from a bug (500).
+//
+// The package also hosts the open-loop load harness (load.go): a
+// replayer that drives a server with a Zipf-distributed query-arrival
+// trace (internal/workload.ZipfTrace) at configurable concurrency and
+// arrival rate, recording latency percentiles, throughput, cache hit
+// rate, and degradation/timeout counts. cmd/pathserve and cmd/serveload
+// are thin flag wrappers; internal/experiments emits the committed
+// BENCH_serve.json from the same harness.
+//
+// In the layer map (graph → bitset → paths → exec → pathsel → serve)
+// this package sits above the public facade and below cmd; it imports
+// only pathsel and internal/workload.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/pathsel"
+)
+
+// QueryResponse is the JSON body of a successful (or degraded) query.
+type QueryResponse struct {
+	// Query echoes the executed query.
+	Query string `json:"query"`
+	// Result is the exact selectivity — or the rounded histogram
+	// estimate when Degraded is set.
+	Result int64 `json:"result"`
+	// Plan describes the executed join strategy.
+	Plan string `json:"plan"`
+	// EstimatedCost is the chosen plan's histogram-estimated cost.
+	EstimatedCost float64 `json:"estimated_cost"`
+	// Work is the actual total intermediate volume.
+	Work int64 `json:"work"`
+	// CacheHits and CacheMisses count the query's traffic against the
+	// estimator's shared segment-relation cache.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Degraded marks a resource-policy kill answered with the histogram
+	// estimate (Config.DegradeToEstimate); DegradedBy names the cause.
+	Degraded   bool   `json:"degraded,omitempty"`
+	DegradedBy string `json:"degraded_by,omitempty"`
+	// LatencyNs is the server-side handling time.
+	LatencyNs int64 `json:"latency_ns"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable cause.
+	Error string `json:"error"`
+	// Code is the machine-readable error class: one of bad_request,
+	// admission_denied, budget_exceeded, deadline_exceeded, cancelled,
+	// execution_failed.
+	Code string `json:"code"`
+}
+
+// Error codes of ErrorResponse.Code.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeAdmissionDenied = "admission_denied"
+	CodeBudgetExceeded  = "budget_exceeded"
+	CodeDeadline        = "deadline_exceeded"
+	CodeCancelled       = "cancelled"
+	CodeExecutionFailed = "execution_failed"
+)
+
+// Counters is a snapshot of the server's request accounting, reported
+// by /stats and asserted by the end-to-end tests.
+type Counters struct {
+	Requests   int64 `json:"requests"`
+	OK         int64 `json:"ok"`
+	Degraded   int64 `json:"degraded"`
+	BadRequest int64 `json:"bad_request"`
+	Rejected   int64 `json:"rejected"` // admission denied (429)
+	Overload   int64 `json:"overload"` // budget exceeded / cancelled (503)
+	Timeout    int64 `json:"timeout"`  // deadline exceeded (504)
+	Failed     int64 `json:"failed"`   // execution failed (500)
+	InFlight   int64 `json:"in_flight"`
+}
+
+// StatsResponse is the JSON body of /stats: graph metadata (what a
+// client needs to form valid queries), request counters, and the
+// estimator's persistent cache counters when one is configured.
+type StatsResponse struct {
+	Labels        []string            `json:"labels"`
+	MaxPathLength int                 `json:"max_path_length"`
+	Counters      Counters            `json:"counters"`
+	Cache         *pathsel.CacheStats `json:"cache,omitempty"`
+	UptimeNs      int64               `json:"uptime_ns"`
+}
+
+// Server wraps one persistent estimator behind an http.Handler. All
+// methods are safe for concurrent use; the zero value is not usable —
+// construct with New.
+type Server struct {
+	est     *pathsel.Estimator
+	mux     *http.ServeMux
+	started time.Time
+
+	requests, ok, degraded, badRequest  atomic.Int64
+	rejected, overload, timeout, failed atomic.Int64
+	inFlight                            atomic.Int64
+}
+
+// New wraps est. The estimator's Config decides the serving policy:
+// CacheBytes shares a relation cache across requests, QueryTimeout
+// bounds each request, MaxPlanCost/MaxResultBytes gate admission, and
+// DegradeToEstimate turns kills into degraded 200s.
+func New(est *pathsel.Estimator) *Server {
+	s := &Server{est: est, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Counters snapshots the request accounting.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Requests:   s.requests.Load(),
+		OK:         s.ok.Load(),
+		Degraded:   s.degraded.Load(),
+		BadRequest: s.badRequest.Load(),
+		Rejected:   s.rejected.Load(),
+		Overload:   s.overload.Load(),
+		Timeout:    s.timeout.Load(),
+		Failed:     s.failed.Load(),
+		InFlight:   s.inFlight.Load(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header are undeliverable; clients see a
+	// truncated body and their decoder reports it.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		Labels:        s.est.Labels(),
+		MaxPathLength: s.est.MaxPathLength(),
+		Counters:      s.Counters(),
+		UptimeNs:      time.Since(s.started).Nanoseconds(),
+	}
+	if cs, ok := s.est.CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errClass maps a pathsel error onto its HTTP status and wire code. The
+// mapping is the serving tier's contract: 400 for malformed queries,
+// 429 for admission rejections (retry later, against another replica),
+// 503 for mid-flight resource kills and cancellations, 504 for
+// deadline expiry, 500 only for contained execution failures.
+func errClass(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, pathsel.ErrAdmissionDenied):
+		return http.StatusTooManyRequests, CodeAdmissionDenied
+	case errors.Is(err, pathsel.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable, CodeBudgetExceeded
+	case errors.Is(err, pathsel.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadline
+	case errors.Is(err, pathsel.ErrCancelled):
+		return http.StatusServiceUnavailable, CodeCancelled
+	case errors.Is(err, pathsel.ErrExecutionFailed):
+		return http.StatusInternalServerError, CodeExecutionFailed
+	default:
+		// Parse/validation errors: unknown label, empty path, too long.
+		return http.StatusBadRequest, CodeBadRequest
+	}
+}
+
+// countError attributes one non-2xx response to its counter.
+func (s *Server) countError(status int) {
+	switch status {
+	case http.StatusBadRequest:
+		s.badRequest.Add(1)
+	case http.StatusTooManyRequests:
+		s.rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		s.timeout.Add(1)
+	case http.StatusInternalServerError:
+		s.failed.Add(1)
+	default:
+		s.overload.Add(1)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			ErrorResponse{Error: "use GET or POST", Code: CodeBadRequest})
+		return
+	}
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "missing q parameter (slash-separated label path)", Code: CodeBadRequest})
+		return
+	}
+	start := time.Now()
+	st, err := s.est.ExecuteQueryCtx(r.Context(), q)
+	if err != nil {
+		status, code := errClass(err)
+		s.countError(status)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+		return
+	}
+	resp := QueryResponse{
+		Query:         q,
+		Result:        st.Result,
+		Plan:          st.Plan.Description,
+		EstimatedCost: st.Plan.EstimatedCost,
+		Work:          st.Work,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		Degraded:      st.Degraded,
+		LatencyNs:     time.Since(start).Nanoseconds(),
+	}
+	if st.Degraded {
+		s.degraded.Add(1)
+		_, resp.DegradedBy = errClass(st.DegradedBy)
+	} else {
+		s.ok.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

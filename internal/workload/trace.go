@@ -1,0 +1,163 @@
+package workload
+
+// This file generates query-arrival traces for the serving layer
+// (internal/serve, cmd/pathserve): a ranked pool of distinct path
+// queries whose popularity follows a Zipf law, replayed as an open-loop
+// arrival process with exponential inter-arrival times. The fixed
+// cycling pool the cache benchmark uses (experiments.CacheBenchWorkload)
+// visits every query equally often; real query streams are skewed — a
+// few hot queries dominate, with a long cold tail — and whether the
+// relation cache's warm speedup survives that skew under concurrent LRU
+// mutation is exactly what the trace exists to measure.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/paths"
+)
+
+// Zipf parameter defaults: s is the skew exponent (rank r is drawn with
+// probability ∝ 1/(v+r)^s; larger s = hotter head), v the offset. Go's
+// rand.Zipf requires s > 1 and v ≥ 1.
+const (
+	DefaultZipfS = 1.2
+	DefaultZipfV = 1.0
+)
+
+// TraceOptions parameterizes ZipfTrace.
+type TraceOptions struct {
+	// Pool is the ranked query pool: rank 0 is the hottest query. Must be
+	// non-empty; QueryPool builds a deterministic one.
+	Pool []paths.Path
+	// S and V are the Zipf parameters (≤ 0 selects DefaultZipfS /
+	// DefaultZipfV). S must resolve > 1 and V ≥ 1.
+	S, V float64
+	// Rate is the open-loop arrival rate in queries per second:
+	// inter-arrival gaps are exponential with mean 1/Rate, so the trace
+	// models a Poisson stream whose arrival times are fixed ahead of
+	// execution — a replayer must not slow arrivals down when the server
+	// lags (that is what "open loop" means; queue wait counts as
+	// latency). Rate ≤ 0 puts every arrival at time 0: saturation mode,
+	// where a concurrency-bounded replayer measures capacity instead.
+	Rate float64
+	// N is the number of arrivals (≥ 1).
+	N int
+	// Seed makes the trace deterministic: same options, same trace.
+	Seed int64
+}
+
+// Arrival is one trace entry: a query and the instant, relative to the
+// trace start, at which it enters the system.
+type Arrival struct {
+	// At is the arrival time as an offset from the trace start.
+	At time.Duration
+	// Rank is the query's popularity rank — its index into the pool.
+	Rank int
+	// Query is the pool entry at Rank.
+	Query paths.Path
+}
+
+// ZipfTrace draws an open-loop query-arrival trace: N arrivals whose
+// queries are Zipf-ranked draws from the pool and whose arrival times
+// form a Poisson process at Rate. The trace is a pure function of its
+// options — replaying, benchmarking, and fuzzing all see the same
+// arrivals for the same seed.
+func ZipfTrace(opt TraceOptions) ([]Arrival, error) {
+	if len(opt.Pool) == 0 {
+		return nil, fmt.Errorf("workload: trace needs a non-empty query pool")
+	}
+	if opt.N < 1 {
+		return nil, fmt.Errorf("workload: trace needs N ≥ 1 arrivals, got %d", opt.N)
+	}
+	s, v := opt.S, opt.V
+	if s <= 0 {
+		s = DefaultZipfS
+	}
+	if v <= 0 {
+		v = DefaultZipfV
+	}
+	if !(s > 1) || !(v >= 1) || math.IsInf(s, 0) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("workload: zipf needs finite s > 1 and v ≥ 1, got s=%v v=%v", s, v)
+	}
+	// A positive rate below one query per ~17 minutes (or a non-finite
+	// one) is a caller bug, and tiny rates would overflow the Duration
+	// arithmetic — reject instead of generating a nonsense trace.
+	if opt.Rate > 0 && (opt.Rate < 1e-3 || math.IsInf(opt.Rate, 0)) {
+		return nil, fmt.Errorf("workload: rate %v outside [1e-3, +Inf)", opt.Rate)
+	}
+	if math.IsNaN(opt.Rate) {
+		return nil, fmt.Errorf("workload: rate is NaN")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	zipf := rand.NewZipf(rng, s, v, uint64(len(opt.Pool)-1))
+	out := make([]Arrival, opt.N)
+	var at time.Duration
+	for i := range out {
+		if opt.Rate > 0 {
+			gap := time.Duration(rng.ExpFloat64() / opt.Rate * float64(time.Second))
+			if next := at + gap; next >= at {
+				at = next // saturate instead of wrapping on absurd traces
+			}
+		}
+		// math/rand's Zipf overflows internally at extreme s and can
+		// return ranks past imax; such a distribution is a delta at rank
+		// 0 anyway, so clamp to the hottest query.
+		rank := int(zipf.Uint64())
+		if rank < 0 || rank >= len(opt.Pool) {
+			rank = 0
+		}
+		out[i] = Arrival{At: at, Rank: rank, Query: opt.Pool[rank]}
+	}
+	return out, nil
+}
+
+// QueryPool builds a deterministic ranked pool of n distinct label paths
+// with lengths in [1, maxLen] over numLabels labels. Ranks are assigned
+// in draw order, so the pool is already in popularity order for
+// ZipfTrace. When the path domain holds fewer than n distinct paths the
+// pool is the whole domain (shuffled), so callers may ask for more than
+// a small graph can supply.
+func QueryPool(numLabels, maxLen, n int, seed int64) ([]paths.Path, error) {
+	if numLabels < 1 || maxLen < 1 || n < 1 {
+		return nil, fmt.Errorf("workload: pool needs numLabels, maxLen, n ≥ 1 (got %d, %d, %d)",
+			numLabels, maxLen, n)
+	}
+	// Domain size Σ numLabels^len for len in [1, maxLen], saturating so
+	// huge vocabularies cannot overflow.
+	domain := 0
+	pow := 1
+	for l := 1; l <= maxLen; l++ {
+		if pow > (1<<31)/numLabels {
+			domain = 1 << 31
+			break
+		}
+		pow *= numLabels
+		domain += pow
+		if domain >= 1<<31 {
+			domain = 1 << 31
+			break
+		}
+	}
+	if n > domain {
+		n = domain
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]paths.Path, 0, n)
+	for len(out) < n {
+		p := make(paths.Path, 1+rng.Intn(maxLen))
+		for i := range p {
+			p[i] = rng.Intn(numLabels)
+		}
+		k := fmt.Sprint(p)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out, nil
+}

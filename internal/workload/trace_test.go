@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQueryPoolDistinctAndBounded(t *testing.T) {
+	pool, err := QueryPool(3, 3, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 20 {
+		t.Fatalf("pool size %d, want 20", len(pool))
+	}
+	seen := map[string]bool{}
+	for _, p := range pool {
+		if len(p) < 1 || len(p) > 3 {
+			t.Fatalf("path length %d outside [1,3]", len(p))
+		}
+		for _, l := range p {
+			if l < 0 || l >= 3 {
+				t.Fatalf("label %d outside [0,3)", l)
+			}
+		}
+		k := fmt.Sprint(p)
+		if seen[k] {
+			t.Fatalf("duplicate pool entry %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestQueryPoolClampsToDomain(t *testing.T) {
+	// 2 labels, maxLen 2 → domain 2 + 4 = 6 distinct paths.
+	pool, err := QueryPool(2, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 6 {
+		t.Fatalf("pool size %d, want the whole 6-path domain", len(pool))
+	}
+}
+
+func TestQueryPoolRejectsBadArgs(t *testing.T) {
+	for _, args := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if _, err := QueryPool(args[0], args[1], args[2], 1); err == nil {
+			t.Fatalf("QueryPool(%v) accepted invalid args", args)
+		}
+	}
+}
+
+func TestZipfTraceDeterministic(t *testing.T) {
+	pool, err := QueryPool(4, 3, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := TraceOptions{Pool: pool, Rate: 1000, N: 500, Seed: 42}
+	a, err := ZipfTrace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfTrace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("trace lengths %d, %d, want 500", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Rank != b[i].Rank {
+			t.Fatalf("arrival %d differs between identical traces: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZipfTraceShape(t *testing.T) {
+	pool, err := QueryPool(4, 3, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ZipfTrace(TraceOptions{Pool: pool, S: 1.5, Rate: 10000, N: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(pool))
+	var prev time.Duration
+	for i, a := range tr {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v before predecessor %v: times must be nondecreasing", i, a.At, prev)
+		}
+		prev = a.At
+		if a.Rank < 0 || a.Rank >= len(pool) {
+			t.Fatalf("arrival %d rank %d outside pool", i, a.Rank)
+		}
+		if fmt.Sprint(a.Query) != fmt.Sprint(pool[a.Rank]) {
+			t.Fatalf("arrival %d query %v does not match pool rank %d", i, a.Query, a.Rank)
+		}
+		counts[a.Rank]++
+	}
+	// Zipf skew: rank 0 must dominate the tail's average.
+	tail := 0
+	for _, c := range counts[1:] {
+		tail += c
+	}
+	if counts[0] <= tail/len(counts[1:]) {
+		t.Fatalf("rank 0 drawn %d times, no hotter than the tail mean %d — not Zipf-skewed",
+			counts[0], tail/len(counts[1:]))
+	}
+	// Mean inter-arrival should be near 1/rate (Poisson at 10k qps over
+	// 5k arrivals: generous 3x tolerance either way).
+	mean := float64(tr[len(tr)-1].At) / float64(len(tr)-1)
+	want := float64(time.Second) / 10000
+	if mean < want/3 || mean > want*3 {
+		t.Fatalf("mean inter-arrival %v implausible for rate 10000 (want ≈ %v)",
+			time.Duration(mean), time.Duration(want))
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN mean inter-arrival")
+	}
+}
+
+func TestZipfTraceSaturationMode(t *testing.T) {
+	pool, err := QueryPool(2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ZipfTrace(TraceOptions{Pool: pool, N: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range tr {
+		if a.At != 0 {
+			t.Fatalf("saturation-mode arrival %d at %v, want 0", i, a.At)
+		}
+	}
+}
+
+func TestZipfTraceRejectsBadOptions(t *testing.T) {
+	pool, _ := QueryPool(2, 2, 4, 1)
+	for name, opt := range map[string]TraceOptions{
+		"empty pool": {N: 10},
+		"zero n":     {Pool: pool},
+		"s ≤ 1":      {Pool: pool, N: 10, S: 0.9},
+		"v < 1":      {Pool: pool, N: 10, V: 0.5},
+	} {
+		if _, err := ZipfTrace(opt); err == nil {
+			t.Fatalf("%s: ZipfTrace accepted invalid options", name)
+		}
+	}
+}
+
+// FuzzZipfTrace pins the trace generator's contract over arbitrary
+// parameters: generation either fails fast with an error or yields
+// exactly n arrivals with nondecreasing times, in-pool ranks, and
+// rank-consistent queries — and is deterministic for a seed.
+func FuzzZipfTrace(f *testing.F) {
+	f.Add(3, 3, 16, 200, int64(1), 1.2, 1.0, 1000.0)
+	f.Add(1, 1, 1, 1, int64(0), 0.0, 0.0, 0.0)
+	f.Add(5, 2, 40, 64, int64(9), 2.5, 3.0, -1.0)
+	f.Fuzz(func(t *testing.T, numLabels, maxLen, poolN, n int, seed int64, s, v, rate float64) {
+		// Bound the work, not the value space: the generator must behave
+		// for any finite parameters, but the fuzzer should not spend its
+		// budget building million-entry pools.
+		if numLabels > 8 || maxLen > 4 || poolN > 64 || n > 512 {
+			t.Skip()
+		}
+		pool, err := QueryPool(numLabels, maxLen, poolN, seed)
+		if err != nil {
+			if numLabels >= 1 && maxLen >= 1 && poolN >= 1 {
+				t.Fatalf("QueryPool rejected valid args: %v", err)
+			}
+			return
+		}
+		opt := TraceOptions{Pool: pool, S: s, V: v, Rate: rate, N: n, Seed: seed}
+		tr, err := ZipfTrace(opt)
+		if err != nil {
+			return // invalid options must error, never panic
+		}
+		if len(tr) != n {
+			t.Fatalf("trace has %d arrivals, want %d", len(tr), n)
+		}
+		var prev time.Duration
+		for i, a := range tr {
+			if a.At < prev {
+				t.Fatalf("arrival %d time %v < predecessor %v", i, a.At, prev)
+			}
+			prev = a.At
+			if a.Rank < 0 || a.Rank >= len(pool) {
+				t.Fatalf("arrival %d rank %d outside pool of %d", i, a.Rank, len(pool))
+			}
+			if fmt.Sprint(a.Query) != fmt.Sprint(pool[a.Rank]) {
+				t.Fatalf("arrival %d query %v mismatches pool rank %d", i, a.Query, a.Rank)
+			}
+		}
+		again, err := ZipfTrace(opt)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		for i := range tr {
+			if tr[i].At != again[i].At || tr[i].Rank != again[i].Rank {
+				t.Fatalf("arrival %d nondeterministic: %+v vs %+v", i, tr[i], again[i])
+			}
+		}
+	})
+}

@@ -417,3 +417,11 @@ func (e *Estimator) Ordering() string { return e.ph.Ordering().Name() }
 
 // DomainSize returns |Lk|.
 func (e *Estimator) DomainSize() int64 { return e.census.Size() }
+
+// Labels returns the estimator's graph's label vocabulary — what a
+// serving tier advertises so clients can form valid queries.
+func (e *Estimator) Labels() []string { return e.gr.Labels() }
+
+// MaxPathLength returns the build-time length bound k: the longest
+// query Estimate/ExecuteQuery accept.
+func (e *Estimator) MaxPathLength() int { return e.cfg.MaxPathLength }
