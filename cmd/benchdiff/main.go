@@ -64,9 +64,12 @@ import (
 const cacheNoiseMult = 10
 
 // isWorkloadRow recognizes the whole-workload-pass rows: the cache
-// section (BENCH_cache.json) and the serving section (BENCH_serve.json).
+// section (BENCH_cache.json), the serving section (BENCH_serve.json),
+// and the cross-layer scaling ladders (BENCH_scaling.json), whose batch
+// and serve rungs time the same kind of whole passes.
 func isWorkloadRow(name string) bool {
-	return strings.HasPrefix(name, "cache/") || strings.HasPrefix(name, "serve/")
+	return strings.HasPrefix(name, "cache/") || strings.HasPrefix(name, "serve/") ||
+		strings.HasPrefix(name, "scaling/")
 }
 
 // caseKey identifies one comparable measurement across reports.

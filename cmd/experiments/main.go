@@ -13,11 +13,14 @@
 // file (table4.csv, figure2.csv, …) into DIR for plotting.
 //
 // The -bench-json, -bench-exec-json, -bench-par-exec-json,
-// -bench-bushy-json, -bench-cache-json, and -bench-serve-json flags
-// instead emit the committed BENCH_*.json perf artifacts (schema in
-// docs/benchmarks.md) and exit; -workers N overrides the worker count of
-// every bench emitter (default GOMAXPROCS; the serve bench ignores it —
-// its rows are keyed by request concurrency instead).
+// -bench-bushy-json, -bench-cache-json, -bench-serve-json, and
+// -bench-scaling-json flags instead emit the committed BENCH_*.json perf
+// artifacts (schema in docs/benchmarks.md) and exit; -workers N
+// overrides the worker count of every bench emitter (default GOMAXPROCS,
+// resolved when the bench runs; the serve bench ignores it — its rows
+// are keyed by request concurrency instead). -cpuprofile FILE wraps
+// whatever runs — bench emitters or experiments — in a CPU profile for
+// regression triage (the CI scaling leg uploads these as artifacts).
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -44,9 +47,36 @@ func main() {
 	benchBushyJSON := flag.String("bench-bushy-json", "", "run only the bushy-plan/join-kernel perf bench and write a BENCH JSON report to this file, then exit")
 	benchCacheJSON := flag.String("bench-cache-json", "", "run only the segment-relation cache workload bench (cold vs warm) and write a BENCH JSON report to this file, then exit")
 	benchServeJSON := flag.String("bench-serve-json", "", "run only the serving-layer load bench (cold vs warm Zipf passes over HTTP) and write a BENCH JSON report to this file, then exit")
+	benchScalingJSON := flag.String("bench-scaling-json", "", "run the cross-layer worker-scaling bench (exec, batch cache, serving ladders at workers 1/2/4) and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
+	// Default 0, not a captured GOMAXPROCS: the count resolves through
+	// sched.WorkerCount when the bench runs, so a GOMAXPROCS change after
+	// process start (container managers do this) is honored.
+	workers := flag.Int("workers", 0, "worker-goroutine override for all bench emitters (pathsel.Config.Workers semantics: ≤ 0 means GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	// die flushes the profile before os.Exit, which skips the defer above.
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		pprof.StopCPUProfile()
+		os.Exit(1)
+	}
 
 	for _, b := range []struct {
 		path string
@@ -70,6 +100,9 @@ func main() {
 		{*benchServeJSON, func() (*experiments.PerfReport, error) {
 			return experiments.RunServeBench(*scale, *benchIters)
 		}},
+		{*benchScalingJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunScalingBench(*scale, *benchIters, *workers)
+		}},
 	} {
 		if b.path == "" {
 			continue
@@ -87,13 +120,13 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("wrote perf bench report to %s\n", b.path)
 	}
 	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" ||
-		*benchBushyJSON != "" || *benchCacheJSON != "" || *benchServeJSON != "" {
+		*benchBushyJSON != "" || *benchCacheJSON != "" || *benchServeJSON != "" ||
+		*benchScalingJSON != "" {
 		return
 	}
 
@@ -120,13 +153,11 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 	if err := run(*exp, opt, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		die(err)
 	}
 }
 

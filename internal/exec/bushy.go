@@ -207,6 +207,19 @@ type treeExec struct {
 	g   *graph.CSR
 	p   paths.Path
 	opt Options
+
+	// mu guards sched: sibling subtrees run concurrently and both fold
+	// their scheduler counters into the shared aggregate.
+	mu    sync.Mutex
+	sched SchedStats
+}
+
+// addSched folds a subtree execution's scheduler stats into the tree-wide
+// aggregate. Safe from concurrently running sibling subtrees.
+func (tx *treeExec) addSched(s SchedStats) {
+	tx.mu.Lock()
+	tx.sched.merge(s)
+	tx.mu.Unlock()
 }
 
 // run executes the subtree with the given worker budget and returns the
@@ -227,6 +240,7 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 		opt := tx.opt
 		opt.Workers = workers
 		rel, st, err := ExecutePlanChecked(tx.g, tx.p[t.Lo:t.Hi], Plan{Start: t.Start - t.Lo}, opt)
+		tx.addSched(st.Sched)
 		return rel, st.Intermediates, st.CacheHits, st.CacheMisses, err
 	}
 	n := tx.g.NumVertices()
@@ -310,7 +324,11 @@ func (tx *treeExec) run(t *PlanTree, workers int) (*bitset.HybridRelation, []int
 	if err := tx.opt.Cancel.Err(); err != nil {
 		return joinFail(err)
 	}
-	if err := stp.join(lrel, dst, rrel); err != nil {
+	err := stp.join(lrel, dst, rrel)
+	var js SchedStats
+	js.add(stp.counters())
+	tx.addSched(js)
+	if err != nil {
 		return joinFail(err)
 	}
 	if err := tx.opt.Cancel.Err(); err != nil {
@@ -389,7 +407,7 @@ func ExecuteTreeChecked(g *graph.CSR, p paths.Path, tree *PlanTree, opt Options)
 		return e
 	})
 	st := Stats{Plan: Plan{Start: -1}, Tree: tree, Intermediates: ints,
-		CacheHits: hits, CacheMisses: misses}
+		CacheHits: hits, CacheMisses: misses, Sched: tx.sched}
 	if err != nil {
 		return nil, st, err
 	}

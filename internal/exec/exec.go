@@ -180,6 +180,62 @@ type Stats struct {
 	// entirely — then Intermediates is empty and Work 0, because nothing
 	// intermediate was materialized.
 	CacheHits, CacheMisses int
+	// Sched reports the execution's scheduler activity — how the sharded
+	// join steps actually ran. All-zero when every step fell below the
+	// granularity floor (or on a whole-query cache hit, which never
+	// builds a scheduler): sequential steps bypass the scheduler
+	// entirely, so zeros mean "no parallel work", not "no work".
+	Sched SchedStats
+}
+
+// SchedStats aggregates work-stealing scheduler counters over an
+// execution: one stepper's rounds for a zig-zag plan, every stepper in
+// the tree for a bushy plan. Steals and Parks are the contention
+// signals — a steal is a shard that migrated off its home worker, a park
+// is a worker that went to sleep hungry — and their ratio to Tasks is
+// what the granularity floor (internal/sched.Granularity) exists to keep
+// low.
+type SchedStats struct {
+	// Tasks is the total number of scheduler tasks executed (compose,
+	// join, and merge shards).
+	Tasks int64
+	// Steals counts tasks taken from another worker's deque.
+	Steals int64
+	// Parks counts workers going to sleep after finding every deque
+	// empty.
+	Parks int64
+	// TasksPerWorker breaks Tasks down by worker index. Bushy plans run
+	// several steppers with their own worker sets, possibly of different
+	// widths; slots add up across them, so the slice length is the widest
+	// scheduler seen.
+	TasksPerWorker []int64
+}
+
+// add folds one scheduler's counter snapshot into the aggregate.
+func (s *SchedStats) add(c sched.Counters) {
+	s.Tasks += c.TotalTasks()
+	s.Steals += c.Steals
+	s.Parks += c.Parks
+	for len(s.TasksPerWorker) < len(c.Tasks) {
+		s.TasksPerWorker = append(s.TasksPerWorker, 0)
+	}
+	for i, v := range c.Tasks {
+		s.TasksPerWorker[i] += v
+	}
+}
+
+// merge folds another aggregate in (used by the bushy executor, whose
+// subtree executions aggregate independently before joining).
+func (s *SchedStats) merge(o SchedStats) {
+	s.Tasks += o.Tasks
+	s.Steals += o.Steals
+	s.Parks += o.Parks
+	for len(s.TasksPerWorker) < len(o.TasksPerWorker) {
+		s.TasksPerWorker = append(s.TasksPerWorker, 0)
+	}
+	for i, v := range o.TasksPerWorker {
+		s.TasksPerWorker[i] += v
+	}
 }
 
 // Execute evaluates p over g with the endpoint plan of the given direction
@@ -360,6 +416,7 @@ func ExecutePlanChecked(g *graph.CSR, p paths.Path, plan Plan, opt Options) (rel
 		st.Work += v
 	}
 	st.CacheHits, st.CacheMisses = sc.counters()
+	st.Sched.add(stp.counters())
 	st.Result = cur.Pairs()
 	return cur, st, nil
 }

@@ -15,14 +15,43 @@ const (
 	// another goroutine: below it one row range composes in roughly the
 	// time a spawn/steal handoff costs.
 	minShardRows = 32
+	// minShardPairs is the work-weight sequential floor: a relation
+	// carrying fewer pairs than twice this composes in a few microseconds
+	// total, so sharding it buys nothing and feeds the steal path pure
+	// contention. Row count alone cannot see this case — a short segment
+	// can have many nearly-empty rows — which is why the granularity
+	// policy weighs both axes.
+	minShardPairs = 2048
 	// shardsPerWorker oversubscribes the shard count so stolen shards can
 	// rebalance a skewed row-weight distribution.
 	shardsPerWorker = 4
 )
 
-// shardTask identifies one shard of the current join step by index into
-// the stepper's bounds table. Tasks own disjoint row ranges, so bodies
-// write disjoint state — the determinism contract of internal/sched.
+// shardGrain is the executor's task-granularity policy: items are active
+// source rows, work is the input relation's pair count. One policy value
+// serves compose and join steps alike, so their sequential floors cannot
+// drift apart.
+var shardGrain = sched.Granularity{
+	MinItems:  minShardRows,
+	MinWork:   minShardPairs,
+	PerWorker: shardsPerWorker,
+}
+
+// minMergeSources is the merged active-list length below which the
+// coordinator copies the per-shard source runs serially: the merge is a
+// pure memcpy, so parallelizing it only pays once the list is tens of
+// kilobytes — the compose/join tails of genuinely large steps, which are
+// exactly where the serial ascending-order AdoptShard loop used to
+// flatten the scaling curve. A var, not a const, so the property tests
+// can lower it and drive the parallel merge on small inputs.
+var minMergeSources = 1 << 13
+
+// shardTask identifies one task of the current scheduler round by index:
+// during a compose/join round, the shard of the bounds table it composes;
+// during a merge round, the shard whose produced sources it copies into
+// the pre-sized active list at offs[idx]. Tasks own disjoint row ranges
+// (compose) or disjoint list ranges (merge), so bodies write disjoint
+// state — the determinism contract of internal/sched.
 type shardTask struct{ idx int }
 
 // stepper drives the sharded join steps of one ExecutePlan call on the
@@ -39,21 +68,29 @@ type stepper struct {
 	// Per-step state, written by the coordinator between Drain rounds and
 	// read by shard bodies during one. Exactly one of op / right is the
 	// step's right-hand operand: compose steps set op (relation×CSR),
-	// bushy join steps set right (relation×relation).
+	// bushy join steps set right (relation×relation). merging flips the
+	// round kind: false runs compose/join shard bodies, true runs
+	// active-list copy bodies over the same task indices.
 	cur, dst *bitset.HybridRelation
 	op       bitset.CSROperand
 	right    *bitset.HybridRelation
+	merging  bool
 	bounds   []int     // shard i covers active positions [bounds[i], bounds[i+1])
 	srcs     [][]int32 // per-shard produced sources, reused across steps
 	pairs    []int64   // per-shard produced pair counts
+	offs     []int     // per-shard active-list write offsets (prefix sums)
 }
 
 // newStepper returns a stepper for an n-vertex universe with
-// sched.WorkerCount(workers) workers. No goroutines or scratches are
-// built until the first sharded step.
+// sched.WorkerCount(workers) workers, clamped to the most shards any step
+// over this universe can produce (n/minShardRows) — workers beyond that
+// could never hold a shard and would only idle, park, and add steal
+// scans. No goroutines or scratches are built until the first sharded
+// step.
 func newStepper(n, workers int) *stepper {
 	st := &stepper{n: n}
-	st.sch = sched.New(workers, st.runShard)
+	w := sched.ClampWorkers(sched.WorkerCount(workers), n/minShardRows)
+	st.sch = sched.New(w, st.runShard)
 	st.scratch = make([]*bitset.ComposeScratch, st.sch.Workers())
 	return st
 }
@@ -81,12 +118,23 @@ func (st *stepper) setCancel(f *bitset.CancelFlag) {
 	}
 }
 
-// runShard is the scheduler task body: compose (or join, when the step's
-// right-hand operand is a relation) the shard's row range into the shared
-// destination with the executing worker's scratch, parking the produced
-// sources and pair count in the shard's own slots.
+// counters snapshots the stepper's scheduler activity for Stats.
+func (st *stepper) counters() sched.Counters { return st.sch.Counters() }
+
+// runShard is the scheduler task body. In a compose/join round it
+// composes (or joins, when the step's right-hand operand is a relation)
+// the shard's row range into the shared destination with the executing
+// worker's scratch, parking the produced sources and pair count in the
+// shard's own slots. In a merge round it copies the shard's parked
+// sources into the destination's pre-sized active list at the shard's
+// prefix-sum offset — ranges are disjoint by construction, so the merge
+// runs on the same scheduler with the same determinism contract.
 func (st *stepper) runShard(worker int, t shardTask) {
 	faultinject.Fire("exec.shard")
+	if st.merging {
+		st.dst.AdoptShardAt(st.offs[t.idx], st.srcs[t.idx])
+		return
+	}
 	lo, hi := st.bounds[t.idx], st.bounds[t.idx+1]
 	if st.right != nil {
 		st.srcs[t.idx], st.pairs[t.idx] = st.cur.JoinShardInto(
@@ -97,21 +145,22 @@ func (st *stepper) runShard(worker int, t shardTask) {
 	}
 }
 
-// compose runs one join step cur ∘ op → dst. Relations with enough active
-// sources are partitioned into shards and composed in parallel, then
-// merged deterministically (AdoptShard in ascending shard order), so the
-// result — rows, active order, and pair count — is bit-identical to
-// sequential ComposeInto. Small relations and 1-worker configurations
-// fall through to the sequential kernel: parallelism is a performance
-// decision per step, never a semantic one.
+// compose runs one join step cur ∘ op → dst. Steps above the granularity
+// floor (enough active sources and enough pairs — shardGrain weighs both)
+// are partitioned into shards and composed in parallel, then merged
+// deterministically, so the result — rows, active order, and pair count —
+// is bit-identical to sequential ComposeInto. Small steps and 1-worker
+// configurations fall through to the sequential kernel without touching
+// the scheduler at all: parallelism is a performance decision per step,
+// never a semantic one.
 func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand) error {
-	nact := cur.Sources()
-	if st.sch.Workers() == 1 || nact < 2*minShardRows {
+	shards := shardGrain.Shards(cur.Sources(), cur.Pairs(), st.sch.Workers())
+	if shards <= 1 {
 		cur.ComposeInto(dst, op, st.scr(0))
 		return nil
 	}
 	st.op, st.right = op, nil
-	return st.runSharded(cur, dst, nact)
+	return st.runSharded(cur, dst, shards)
 }
 
 // join runs one bushy join step cur ∘ right → dst through the same
@@ -119,29 +168,33 @@ func (st *stepper) compose(cur, dst *bitset.HybridRelation, op bitset.CSROperand
 // (bitset.JoinShardInto) as the task body. The merge discipline is
 // identical, so the result is bit-identical to sequential JoinInto.
 func (st *stepper) join(cur, dst, right *bitset.HybridRelation) error {
-	nact := cur.Sources()
-	if st.sch.Workers() == 1 || nact < 2*minShardRows {
+	shards := shardGrain.Shards(cur.Sources(), cur.Pairs(), st.sch.Workers())
+	if shards <= 1 {
 		cur.JoinInto(dst, right, st.scr(0))
 		return nil
 	}
 	st.right = right
-	return st.runSharded(cur, dst, nact)
+	return st.runSharded(cur, dst, shards)
 }
 
 // runSharded partitions cur's active sources into shards, runs them on
-// the scheduler, and merges the outcome deterministically. The caller has
-// set the step's right-hand operand (op or right).
-// A shard body that panics (contained by the scheduler) surfaces here as
-// the drain's *sched.PanicError; the partial destination is left
-// unmerged for the caller to discard.
-func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) error {
+// the scheduler, and merges the outcome deterministically: small merges
+// adopt the per-shard source runs serially in ascending shard order;
+// merges of minMergeSources or more pre-size the destination's active
+// list (BeginAdopt) and copy every shard's run into its disjoint
+// prefix-sum range in a second scheduler round, which writes the same
+// ascending concatenation without serializing the tail on the
+// coordinator. The caller has set the step's right-hand operand (op or
+// right). A shard body that panics (contained by the scheduler) or a
+// cancellation surfaces here as the drain's error; the partial
+// destination is left unmerged (or part-merged) for the caller to
+// discard.
+func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, shards int) error {
 	workers := st.sch.Workers()
-	shards := workers * shardsPerWorker
-	if max := nact / minShardRows; shards > max {
-		shards = max
-	}
+	nact := cur.Sources()
 	dst.Reset()
 	st.cur, st.dst = cur, dst
+	defer func() { st.cur, st.dst, st.right, st.merging = nil, nil, nil, false }()
 	if cap(st.bounds) < shards+1 {
 		st.bounds = make([]int, shards+1)
 	}
@@ -152,6 +205,10 @@ func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) error {
 	if len(st.pairs) < shards {
 		st.pairs = make([]int64, shards)
 	}
+	if cap(st.offs) < shards {
+		st.offs = make([]int, shards)
+	}
+	st.offs = st.offs[:shards]
 	for i := 0; i <= shards; i++ {
 		st.bounds[i] = i * nact / shards
 	}
@@ -160,13 +217,30 @@ func (st *stepper) runSharded(cur, dst *bitset.HybridRelation, nact int) error {
 	}
 	// Shard bodies never Spawn, so the static drain's goroutine count cap
 	// (min(workers, shards)) loses nothing.
-	err := st.sch.DrainStatic()
-	st.cur, st.dst, st.right = nil, nil, nil
-	if err != nil {
+	if err := st.sch.DrainStatic(); err != nil {
 		return err
 	}
+	total := 0
+	var pairs int64
 	for i := 0; i < shards; i++ {
-		dst.AdoptShard(st.srcs[i], st.pairs[i])
+		st.offs[i] = total
+		total += len(st.srcs[i])
+		pairs += st.pairs[i]
 	}
+	if total < minMergeSources {
+		for i := 0; i < shards; i++ {
+			dst.AdoptShard(st.srcs[i], st.pairs[i])
+		}
+		return nil
+	}
+	dst.BeginAdopt(total)
+	st.merging = true
+	for i := 0; i < shards; i++ {
+		st.sch.Spawn(i%workers, shardTask{idx: i})
+	}
+	if err := st.sch.DrainStatic(); err != nil {
+		return err
+	}
+	dst.FinishAdopt(pairs)
 	return nil
 }

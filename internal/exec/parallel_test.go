@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/paths"
+	"repro/internal/sched"
 )
 
 // assertStatsEqual pins two executions' observable statistics identical.
@@ -30,7 +31,7 @@ func assertStatsEqual(t *testing.T, ctx string, got, want Stats) {
 // TestExecuteParallelMatchesSequential is the parallel executor's
 // bit-identity property test: on random graphs across sizes, path
 // lengths, density thresholds, every zig-zag start, and worker counts
-// 1–8, ExecutePlan must produce exactly the relation and statistics of
+// 1–16, ExecutePlan must produce exactly the relation and statistics of
 // its sequential (Workers: 1) mode. Run under -race (as CI does) it also
 // proves the sharded compose steps are data-race-free.
 func TestExecuteParallelMatchesSequential(t *testing.T) {
@@ -49,7 +50,7 @@ func TestExecuteParallelMatchesSequential(t *testing.T) {
 			for s := 0; s < len(p); s++ {
 				seqRel, seqSt := ExecutePlan(g, p, Plan{Start: s},
 					Options{DensityThreshold: density, Workers: 1})
-				for workers := 2; workers <= 8; workers++ {
+				for workers := 2; workers <= 16; workers += 2 {
 					ctx := fmt.Sprintf("trial %d density %v start %d workers %d",
 						trial, density, s, workers)
 					rel, st := ExecutePlan(g, p, Plan{Start: s},
@@ -77,6 +78,89 @@ func TestExecuteParallelLargeFanout(t *testing.T) {
 			t.Fatalf("start %d: 16-worker relation differs from sequential", s)
 		}
 		assertStatsEqual(t, fmt.Sprintf("start %d", s), st, seqSt)
+	}
+}
+
+// TestParallelMergePathMatchesSequential drives the two-round parallel
+// merge (BeginAdopt/AdoptShardAt) on ordinary test graphs by lowering
+// the merge and granularity floors — package vars exactly so this test
+// can exist — and asserts bit-identity to sequential execution at
+// workers 1–16. With MinItems 1 the shard bounds routinely produce
+// one-row and empty shards, covering the degenerate partitions.
+func TestParallelMergePathMatchesSequential(t *testing.T) {
+	defer func(g sched.Granularity, m int) { shardGrain, minMergeSources = g, m }(shardGrain, minMergeSources)
+	shardGrain = sched.Granularity{MinItems: 1, MinWork: 0, PerWorker: 4}
+	minMergeSources = 1
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		vertices := 10 + rng.Intn(200)
+		labels := 1 + rng.Intn(3)
+		edges := vertices + rng.Intn(6*vertices)
+		g := randomGraph(int64(500+trial), vertices, labels, edges)
+		p := make(paths.Path, 2+rng.Intn(3))
+		for i := range p {
+			p[i] = rng.Intn(labels)
+		}
+		seqRel, seqSt := ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: 1})
+		for workers := 1; workers <= 16; workers++ {
+			rel, st := ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: workers})
+			ctx := fmt.Sprintf("trial %d workers %d", trial, workers)
+			if !rel.Equal(seqRel) {
+				t.Fatalf("%s: merged relation differs from sequential", ctx)
+			}
+			assertStatsEqual(t, ctx, st, seqSt)
+		}
+	}
+}
+
+// TestGranularityFloorSkipsScheduler pins the adaptive sequential floor
+// observably: a small query at a high worker count must run every step
+// sequentially — zero scheduler tasks, steals, and parks in Stats.Sched —
+// because its relations sit under the row and pair floors, while the
+// same query with the floors lowered does shard.
+func TestGranularityFloorSkipsScheduler(t *testing.T) {
+	g := randomGraph(41, 80, 2, 400) // far below 2×minShardPairs pairs per step
+	p := paths.Path{0, 1, 0}
+	_, st := ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: 8})
+	if st.Sched.Tasks != 0 || st.Sched.Steals != 0 {
+		t.Fatalf("small query sharded anyway: %+v", st.Sched)
+	}
+	defer func(gr sched.Granularity) { shardGrain = gr }(shardGrain)
+	shardGrain = sched.Granularity{MinItems: 1, MinWork: 0, PerWorker: 4}
+	_, st = ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: 8})
+	if st.Sched.Tasks == 0 {
+		t.Fatal("lowered floors did not shard — the floor test is vacuous")
+	}
+	if len(st.Sched.TasksPerWorker) == 0 {
+		t.Fatal("per-worker task breakdown missing")
+	}
+}
+
+// TestExecuteParallelLargeMerge exercises the real (un-lowered) parallel
+// merge threshold end to end: a graph large enough that compose tails
+// exceed minMergeSources, executed at several worker counts against the
+// sequential reference. This is the only test that reaches the merge
+// round with production constants.
+func TestExecuteParallelLargeMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph merge test")
+	}
+	g := randomGraph(43, 3*minMergeSources, 2, 15*minMergeSources)
+	p := paths.Path{0, 1, 0}
+	seqRel, seqSt := ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: 1})
+	if seqRel.Sources() < minMergeSources {
+		t.Fatalf("graph too small to reach the merge round: %d sources", seqRel.Sources())
+	}
+	for _, workers := range []int{2, 4, 16} {
+		rel, st := ExecutePlan(g, p, Plan{Start: 0}, Options{Workers: workers})
+		ctx := fmt.Sprintf("workers %d", workers)
+		if !rel.Equal(seqRel) {
+			t.Fatalf("%s: merged relation differs from sequential", ctx)
+		}
+		assertStatsEqual(t, ctx, st, seqSt)
+		if st.Sched.Tasks == 0 {
+			t.Fatalf("%s: no scheduler tasks on a graph this size", ctx)
+		}
 	}
 }
 
@@ -115,7 +199,7 @@ func FuzzExecParallelEquivalence(f *testing.F) {
 		if start < 0 || start >= k {
 			t.Skip()
 		}
-		w := int(workers%8) + 1
+		w := int(workers%16) + 1
 		dref, _ := ExecuteDense(g, p, Forward)
 		seqRel, seqSt := ExecutePlan(g, p, Plan{Start: start},
 			Options{DensityThreshold: density, Workers: 1})

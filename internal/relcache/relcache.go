@@ -35,12 +35,30 @@
 // a consumer wanting the other form derives it on adoption. One entry
 // then serves forward and backward plans alike, which both halves the
 // byte footprint of mixed-direction workloads and turns what used to be
-// a cross-orientation miss into a hit. Entries are evicted
-// least-recently-used per shard,
-// with cost accounted in exact bytes (bitset.HybridRelation.MemSize), so
-// the bound is a real memory budget, not an entry count. Relations larger
+// a cross-orientation miss into a hit.
+//
+// Recency is a per-entry stamp from a cache-wide monotonic clock,
+// refreshed by Get with a single atomic store; eviction (under a shard's
+// write lock, in Put) removes the smallest-stamp entry until the new one
+// fits. Stamps are unique and monotonic, so eviction order is exactly
+// least-recently-used and fully deterministic for a sequential history —
+// the stamp scheme trades the linked-list bookkeeping (which forced Get
+// to take an exclusive lock) for an approximation that only differs under
+// racing Gets, where "recency order" was never well-defined anyway. Cost
+// is accounted in exact bytes (bitset.HybridRelation.MemSize), so the
+// bound is a real memory budget, not an entry count. Relations larger
 // than a shard's whole budget are rejected outright rather than flushing
 // the shard.
+//
+// # Locking
+//
+// Each shard has one RWMutex: Get and Contains take the read side — a
+// warm workload's concurrent readers share every shard — and only Put
+// takes the write side. Lock acquisitions try the uncontended fast path
+// first and fall back to a timed wait whose duration feeds per-shard
+// lock-wait tallies (Stats.LockWaitNs, Stats.ShardLockWaitNs), so shard
+// contention is observable in production stats, not just in mutex
+// profiles.
 //
 // A cache is bound to one graph: keys carry no graph identity, so sharing
 // a cache across graphs returns wrong relations. Owners (an Estimator, a
@@ -51,6 +69,7 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/faultinject"
@@ -83,8 +102,8 @@ type Options struct {
 }
 
 // Stats is a point-in-time snapshot of the cache's counters. Hits,
-// Misses, Puts, Evictions, and Rejected are cumulative; Entries, Bytes,
-// and MaxBytes describe current occupancy.
+// Misses, Puts, Evictions, Rejected, and the lock-wait tallies are
+// cumulative; Entries, Bytes, and MaxBytes describe current occupancy.
 type Stats struct {
 	Hits      uint64 // Get calls that returned a relation
 	Misses    uint64 // Get calls that found nothing adoptable
@@ -94,27 +113,58 @@ type Stats struct {
 	Entries   int    // live entries right now
 	Bytes     int64  // accounted bytes right now
 	MaxBytes  int64  // configured budget
+	Shards    int    // configured shard count (after power-of-two rounding)
+	// LockWaitNs is the total time callers spent blocked acquiring shard
+	// locks (read and write side), summed across shards. Zero under an
+	// uncontended workload — the fast path never starts a timer.
+	LockWaitNs int64
+	// ShardLockWaitNs breaks LockWaitNs down by shard, exposing skew: one
+	// hot shard (a popular segment hashing with its neighbors) shows up
+	// here while the aggregate still looks tame.
+	ShardLockWaitNs []int64
 }
 
-// entry is one cached relation on a shard's LRU list. reversed records
-// which orientation of the label sequence rel holds; the other is
-// derived by the consumer on adoption.
+// entry is one cached relation. reversed records which orientation of
+// the label sequence rel holds; the other is derived by the consumer on
+// adoption. used is the recency stamp — the cache clock's value at the
+// entry's last Get (or its insertion) — written with a plain atomic
+// store so readers holding only the shard's read lock can refresh it.
 type entry struct {
-	key        string
-	rel        *bitset.HybridRelation
-	reversed   bool
-	cost       int64
-	prev, next *entry // LRU list: front = most recent, back = next victim
+	key      string
+	rel      *bitset.HybridRelation
+	reversed bool
+	cost     int64
+	used     atomic.Int64
 }
 
-// shard is one independently locked LRU.
+// shard is one independently locked slice of the cache. bytes is written
+// only under mu's write side but read lock-free by Stats, hence atomic.
 type shard struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]*entry
-	front   *entry // most recently used
-	back    *entry // least recently used
-	bytes   int64
+	bytes   atomic.Int64
 	cap     int64
+	waitNs  atomic.Int64
+}
+
+// rlock acquires the read side, tallying wait time when contended.
+func (sh *shard) rlock() {
+	if sh.mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	sh.mu.RLock()
+	sh.waitNs.Add(time.Since(start).Nanoseconds())
+}
+
+// lock acquires the write side, tallying wait time when contended.
+func (sh *shard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	sh.waitNs.Add(time.Since(start).Nanoseconds())
 }
 
 // Cache is the sharded segment-relation cache. All methods are safe for
@@ -122,6 +172,10 @@ type shard struct {
 type Cache struct {
 	shards []shard
 	mask   uint32
+
+	// clock is the cache-wide recency counter: every hit and insert takes
+	// the next tick, so entry stamps are unique and monotonic.
+	clock atomic.Int64
 
 	hits, misses, puts, evictions, rejected atomic.Uint64
 }
@@ -188,16 +242,20 @@ func (c *Cache) shardFor(k string) *shard {
 // caller must copy it (CopyInto / ReverseInto) before any mutation, and
 // must verify it matches the caller's representation regime (Universe,
 // SparseMax) before adopting it.
+//
+// Get takes only the shard's read lock — a hit refreshes recency with an
+// atomic stamp, not a list splice — so concurrent warm readers never
+// serialize on each other, only on a simultaneous Put to the same shard.
 func (c *Cache) Get(p paths.Path) (rel *bitset.HybridRelation, reversed, ok bool) {
 	k := key(p)
 	sh := c.shardFor(k)
-	sh.mu.Lock()
+	sh.rlock()
 	e, ok := sh.entries[k]
 	if ok {
-		sh.moveToFront(e)
+		e.used.Store(c.clock.Add(1))
 		rel, reversed = e.rel, e.reversed
 	}
-	sh.mu.Unlock()
+	sh.mu.RUnlock()
 	if !ok {
 		c.misses.Add(1)
 		return nil, false, false
@@ -207,15 +265,15 @@ func (c *Cache) Get(p paths.Path) (rel *bitset.HybridRelation, reversed, ok bool
 }
 
 // Contains reports whether the segment is cached (in either
-// orientation), without touching the LRU order or the hit/miss counters
-// — the planner's cost probe (exec.Planner.Cached) must not perturb
-// recency while enumerating O(k²) candidate segments.
+// orientation), without touching the recency stamps or the hit/miss
+// counters — the planner's cost probe (exec.Planner.Cached) must not
+// perturb recency while enumerating O(k²) candidate segments.
 func (c *Cache) Contains(p paths.Path) bool {
 	k := key(p)
 	sh := c.shardFor(k)
-	sh.mu.Lock()
+	sh.rlock()
 	_, ok := sh.entries[k]
-	sh.mu.Unlock()
+	sh.mu.RUnlock()
 	return ok
 }
 
@@ -239,6 +297,12 @@ const entryOverhead = 96
 // triggered injection turns the call into a counted rejection, the same
 // graceful degradation as an oversized entry (service continues, the
 // segment just stays uncached).
+//
+// Eviction scans the shard for the smallest recency stamp. The scan is
+// O(entries), but it runs under the write lock Put already holds, only
+// when over budget, and shard entry counts are small by construction
+// (the byte budget divided by relation sizes) — the trade buys Get its
+// read-lock-only hot path.
 func (c *Cache) Put(p paths.Path, reversed bool, rel *bitset.HybridRelation) {
 	k := key(p)
 	cost := int64(rel.CloneMemSize()) + int64(len(k)) + entryOverhead
@@ -248,24 +312,27 @@ func (c *Cache) Put(p paths.Path, reversed bool, rel *bitset.HybridRelation) {
 		return
 	}
 	clone := rel.Clone()
-	sh.mu.Lock()
+	e := &entry{key: k, rel: clone, reversed: reversed, cost: cost}
+	e.used.Store(c.clock.Add(1))
+	sh.lock()
 	if old, ok := sh.entries[k]; ok {
-		sh.unlink(old)
-		sh.bytes -= old.cost
+		sh.bytes.Add(-old.cost)
 		delete(sh.entries, k)
 	}
 	var evicted uint64
-	for sh.bytes+cost > sh.cap && sh.back != nil {
-		victim := sh.back
-		sh.unlink(victim)
-		sh.bytes -= victim.cost
+	for sh.bytes.Load()+cost > sh.cap && len(sh.entries) > 0 {
+		var victim *entry
+		for _, cand := range sh.entries {
+			if victim == nil || cand.used.Load() < victim.used.Load() {
+				victim = cand
+			}
+		}
+		sh.bytes.Add(-victim.cost)
 		delete(sh.entries, victim.key)
 		evicted++
 	}
-	e := &entry{key: k, rel: clone, reversed: reversed, cost: cost}
 	sh.entries[k] = e
-	sh.pushFront(e)
-	sh.bytes += cost
+	sh.bytes.Add(cost)
 	sh.mu.Unlock()
 	c.puts.Add(1)
 	if evicted > 0 {
@@ -283,14 +350,19 @@ func (c *Cache) Stats() Stats {
 		Puts:      c.puts.Load(),
 		Evictions: c.evictions.Load(),
 		Rejected:  c.rejected.Load(),
+		Shards:    len(c.shards),
 	}
+	st.ShardLockWaitNs = make([]int64, len(c.shards))
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.mu.Lock()
+		sh.rlock()
 		st.Entries += len(sh.entries)
-		st.Bytes += sh.bytes
+		sh.mu.RUnlock()
+		st.Bytes += sh.bytes.Load()
 		st.MaxBytes += sh.cap
-		sh.mu.Unlock()
+		w := sh.waitNs.Load()
+		st.ShardLockWaitNs[i] = w
+		st.LockWaitNs += w
 	}
 	return st
 }
@@ -300,46 +372,9 @@ func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.mu.Lock()
+		sh.rlock()
 		n += len(sh.entries)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return n
-}
-
-// pushFront links e as the most recently used entry. Caller holds mu.
-func (sh *shard) pushFront(e *entry) {
-	e.prev = nil
-	e.next = sh.front
-	if sh.front != nil {
-		sh.front.prev = e
-	}
-	sh.front = e
-	if sh.back == nil {
-		sh.back = e
-	}
-}
-
-// unlink removes e from the LRU list. Caller holds mu.
-func (sh *shard) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		sh.front = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		sh.back = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-// moveToFront marks e most recently used. Caller holds mu.
-func (sh *shard) moveToFront(e *entry) {
-	if sh.front == e {
-		return
-	}
-	sh.unlink(e)
-	sh.pushFront(e)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/faultinject"
@@ -264,41 +265,43 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
-// checkInvariants walks every shard and verifies the LRU list and byte
-// accounting agree with the map.
+// checkInvariants walks every shard and verifies the byte accounting and
+// recency stamps agree with the map: accounted bytes equal the summed
+// entry costs and stay under the shard cap, every entry's map key matches
+// its recorded key, and no stamp is ahead of the cache clock (stamps are
+// unique ticks of it).
 func checkInvariants(t *testing.T, c *Cache) {
 	t.Helper()
+	clock := c.clock.Load()
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		var bytes int64
-		n := 0
-		var prev *entry
-		for e := sh.front; e != nil; e = e.next {
-			if e.prev != prev {
+		seen := map[int64]string{}
+		for k, e := range sh.entries {
+			if e.key != k {
 				sh.mu.Unlock()
-				t.Fatalf("shard %d: broken back-link at %q", i, e.key)
-			}
-			if sh.entries[e.key] != e {
-				sh.mu.Unlock()
-				t.Fatalf("shard %d: list entry %q not in map", i, e.key)
+				t.Fatalf("shard %d: entry %q stored under key %q", i, e.key, k)
 			}
 			bytes += e.cost
-			n++
-			prev = e
+			u := e.used.Load()
+			if u <= 0 || u > clock {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: entry %q stamp %d outside (0, clock=%d]", i, k, u, clock)
+			}
+			if prev, dup := seen[u]; dup {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: entries %q and %q share stamp %d", i, prev, k, u)
+			}
+			seen[u] = k
 		}
-		if sh.back != prev {
+		if bytes != sh.bytes.Load() {
 			sh.mu.Unlock()
-			t.Fatalf("shard %d: back pointer stale", i)
+			t.Fatalf("shard %d: map holds %d bytes, accounted %d", i, bytes, sh.bytes.Load())
 		}
-		if n != len(sh.entries) || bytes != sh.bytes {
+		if sh.bytes.Load() > sh.cap {
 			sh.mu.Unlock()
-			t.Fatalf("shard %d: list (%d entries, %d bytes) vs map (%d) / accounted (%d)",
-				i, n, bytes, len(sh.entries), sh.bytes)
-		}
-		if sh.bytes > sh.cap {
-			sh.mu.Unlock()
-			t.Fatalf("shard %d: %d bytes over cap %d", i, sh.bytes, sh.cap)
+			t.Fatalf("shard %d: %d bytes over cap %d", i, sh.bytes.Load(), sh.cap)
 		}
 		sh.mu.Unlock()
 	}
@@ -330,6 +333,63 @@ func FuzzCacheInvariants(f *testing.F) {
 			t.Fatalf("Stats.Entries %d != Len %d", st.Entries, c.Len())
 		}
 	})
+}
+
+// TestGetStampsRecency pins the clock-LRU contract at the stamp level:
+// a Get refreshes its entry's stamp to a fresh clock tick, so the entry
+// outlives untouched neighbors at the next eviction.
+func TestGetStampsRecency(t *testing.T) {
+	c := New(Options{Shards: 1})
+	a, b := paths.Path{1, 1}, paths.Path{2, 2}
+	c.Put(a, false, rel(16, [2]int{0, 1}))
+	c.Put(b, false, rel(16, [2]int{0, 1}))
+	sh := &c.shards[0]
+	ua0 := sh.entries[key(a)].used.Load()
+	if _, _, ok := c.Get(a); !ok {
+		t.Fatal("entry missing")
+	}
+	ua1 := sh.entries[key(a)].used.Load()
+	ub := sh.entries[key(b)].used.Load()
+	if ua1 <= ua0 || ua1 <= ub {
+		t.Fatalf("Get did not refresh recency: a %d→%d, b %d", ua0, ua1, ub)
+	}
+	if got := c.clock.Load(); ua1 != got {
+		t.Fatalf("refreshed stamp %d is not the latest clock tick %d", ua1, got)
+	}
+}
+
+// TestLockWaitTallies verifies contended acquisitions are measured: a
+// reader blocked behind a held write lock must add to the shard's
+// lock-wait tally, and an uncontended history must not.
+func TestLockWaitTallies(t *testing.T) {
+	c := New(Options{Shards: 1})
+	p := paths.Path{1, 2}
+	c.Put(p, false, rel(16, [2]int{0, 1}))
+	c.Get(p)
+	st := c.Stats()
+	if st.Shards != 1 || len(st.ShardLockWaitNs) != 1 {
+		t.Fatalf("shard accounting: %+v", st)
+	}
+	if st.LockWaitNs != 0 {
+		t.Fatalf("uncontended workload tallied %dns of lock wait", st.LockWaitNs)
+	}
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Get(p) // blocks: TryRLock fails, timed RLock waits
+	}()
+	time.Sleep(2 * time.Millisecond)
+	sh.mu.Unlock()
+	<-done
+	st = c.Stats()
+	if st.LockWaitNs <= 0 {
+		t.Fatal("blocked reader tallied no lock wait")
+	}
+	if st.ShardLockWaitNs[0] != st.LockWaitNs {
+		t.Fatalf("aggregate %d != single shard tally %d", st.LockWaitNs, st.ShardLockWaitNs[0])
+	}
 }
 
 func TestStatsString(t *testing.T) {

@@ -1,0 +1,96 @@
+package sched
+
+import "runtime"
+
+// Granularity is an adaptive task-sizing policy for divisible work: given
+// how many independent items a round has and how much weighted work they
+// carry in total, it decides how many shards the round should split into —
+// including the answer "one", which means the caller should skip the
+// scheduler entirely and run sequentially. The floors exist because a
+// spawn/steal handoff has a fixed cost: a round whose whole work is
+// comparable to a few handoffs loses time to sharding (and feeds the
+// steal path pure contention), which is exactly what profiles of short
+// join segments show. Both floors must clear by a factor of two before
+// any sharding happens, so a round is only split when at least two
+// shards' worth of work exists on both axes.
+type Granularity struct {
+	// MinItems is the fewest items worth a shard of their own: a shard
+	// never covers fewer (so shard count ≤ items/MinItems), and a round
+	// with fewer than 2×MinItems items runs sequentially.
+	MinItems int
+	// MinWork is the least weighted work (in the caller's unit — the
+	// executor uses relation pair counts) worth a shard: shard count is
+	// additionally capped at work/MinWork, and a round carrying less
+	// than 2×MinWork total runs sequentially no matter how many items
+	// it has. Zero disables the work axis.
+	MinWork int64
+	// PerWorker oversubscribes the shard count (shards ≈
+	// workers×PerWorker) so stolen shards can rebalance a skewed
+	// item-weight distribution. Values < 1 are treated as 1.
+	PerWorker int
+}
+
+// Shards returns the shard count for a round of items carrying the given
+// total weighted work on the given worker count: 1 when the round is
+// below either sequential floor (or workers ≤ 1), otherwise
+// workers×PerWorker capped by both items/MinItems and work/MinWork.
+func (g Granularity) Shards(items int, work int64, workers int) int {
+	if workers <= 1 || items < 2*g.MinItems {
+		return 1
+	}
+	if g.MinWork > 0 && work < 2*g.MinWork {
+		return 1
+	}
+	per := g.PerWorker
+	if per < 1 {
+		per = 1
+	}
+	shards := workers * per
+	if g.MinItems > 0 {
+		if m := items / g.MinItems; shards > m {
+			shards = m
+		}
+	}
+	if g.MinWork > 0 {
+		if m := int(work / g.MinWork); shards > m {
+			shards = m
+		}
+	}
+	if shards < 1 {
+		return 1
+	}
+	return shards
+}
+
+// WorkerCount normalizes a worker-count knob: values ≤ 0 select
+// GOMAXPROCS, re-read at call time — a process that adjusts GOMAXPROCS
+// after start (container managers and tests do) gets the current value,
+// not a stale snapshot. Every layer that exposes a Workers option
+// (pathsel.Config, paths.CensusOptions, exec.Options) resolves it through
+// this one rule.
+func WorkerCount(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ClampWorkers bounds a resolved worker count by the most shards any
+// round of the caller's workload can produce. A scheduler built with more
+// workers than its rounds have tasks silently idles the surplus — they
+// start, scan every deque, park, and wake on every broadcast without ever
+// holding work — so callers that know their shard ceiling (the parallel
+// executor caps shards at universe/MinItems) clamp before constructing
+// the scheduler instead of paying for dead workers every drain.
+func ClampWorkers(workers, maxTasks int) int {
+	if maxTasks < 1 {
+		maxTasks = 1
+	}
+	if workers > maxTasks {
+		workers = maxTasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -3,7 +3,6 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -39,16 +38,6 @@ func (e *PanicError) Error() string {
 
 // Unwrap makes every PanicError match ErrStopped.
 func (e *PanicError) Unwrap() error { return ErrStopped }
-
-// WorkerCount normalizes a worker-count knob: values ≤ 0 select
-// GOMAXPROCS. Every layer that exposes a Workers option (pathsel.Config,
-// paths.CensusOptions, exec.Options) resolves it through this one rule.
-func WorkerCount(workers int) int {
-	if workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return workers
-}
 
 // deque is a mutex-guarded work-stealing deque: the owner pushes and pops
 // at the tail (LIFO), thieves take from the head (FIFO). The mutex is
@@ -147,12 +136,63 @@ type Scheduler[T any] struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sleeping atomic.Int64
+
+	// Scheduling-activity counters, cumulative across drains: per-worker
+	// executed-task counts, successful steals, and actual parks
+	// (cond.Wait entries, not mere park attempts). Atomics so Counters
+	// may snapshot them while a drain runs; each increment sits next to
+	// a task execution or a deque lock, so the cost disappears into the
+	// operation being counted.
+	tasks  []atomic.Int64
+	steals atomic.Int64
+	parks  atomic.Int64
+}
+
+// Counters is a snapshot of a scheduler's cumulative scheduling activity
+// — the observability the contention suspects are judged by: a
+// steals/tasks ratio near zero means shards ran where they were spawned
+// (good locality, or no imbalance to fix), a high parks count means
+// workers kept running dry (shards too few or too skewed for the worker
+// count).
+type Counters struct {
+	// Tasks is the number of tasks each worker executed, indexed by
+	// worker id. Σ Tasks is every task that ran.
+	Tasks []int64
+	// Steals counts tasks obtained from another worker's deque.
+	Steals int64
+	// Parks counts workers actually blocking to await work.
+	Parks int64
+}
+
+// TotalTasks returns Σ Tasks.
+func (c Counters) TotalTasks() int64 {
+	var n int64
+	for _, t := range c.Tasks {
+		n += t
+	}
+	return n
+}
+
+// Counters snapshots the scheduler's cumulative activity counters. Safe
+// at any time; a snapshot taken mid-drain is internally consistent per
+// counter, not across counters.
+func (s *Scheduler[T]) Counters() Counters {
+	c := Counters{
+		Tasks:  make([]int64, len(s.tasks)),
+		Steals: s.steals.Load(),
+		Parks:  s.parks.Load(),
+	}
+	for i := range s.tasks {
+		c.Tasks[i] = s.tasks[i].Load()
+	}
+	return c
 }
 
 // New returns a scheduler with WorkerCount(workers) workers that executes
 // every task with body. No goroutines start until Drain.
 func New[T any](workers int, body func(worker int, task T)) *Scheduler[T] {
-	s := &Scheduler[T]{body: body, deques: make([]deque[T], WorkerCount(workers))}
+	n := WorkerCount(workers)
+	s := &Scheduler[T]{body: body, deques: make([]deque[T], n), tasks: make([]atomic.Int64, n)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -280,7 +320,9 @@ func (s *Scheduler[T]) run(id int) {
 		}
 		t, ok := s.deques[id].pop()
 		if !ok {
-			t, ok = s.steal(id)
+			if t, ok = s.steal(id); ok {
+				s.steals.Add(1)
+			}
 		}
 		if !ok {
 			if s.outstanding.Load() == 0 {
@@ -313,6 +355,7 @@ func (s *Scheduler[T]) exec(id int, t T) {
 		}
 	}()
 	faultinject.Fire("sched.task")
+	s.tasks[id].Add(1)
 	s.body(id, t)
 }
 
@@ -337,6 +380,7 @@ func (s *Scheduler[T]) park(id int) bool {
 	if s.outstanding.Load() == 0 {
 		return false
 	}
+	s.parks.Add(1)
 	s.cond.Wait()
 	return true
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -128,6 +129,114 @@ func TestWorkerCount(t *testing.T) {
 	}
 }
 
+// TestWorkerCountTracksGOMAXPROCS pins the call-time re-read: a process
+// that adjusts GOMAXPROCS after start (container managers and tests do)
+// must see the current value, not a boot-time snapshot.
+func TestWorkerCountTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(3)
+	if got := WorkerCount(0); got != 3 {
+		t.Fatalf("WorkerCount(0) = %d after GOMAXPROCS(3)", got)
+	}
+	runtime.GOMAXPROCS(5)
+	if got := WorkerCount(-1); got != 5 {
+		t.Fatalf("WorkerCount(-1) = %d after GOMAXPROCS(5)", got)
+	}
+}
+
+// TestClampWorkers pins the idle-worker guard: a worker count is bounded
+// by the workload's task ceiling and never drops below one.
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ workers, maxTasks, want int }{
+		{8, 4, 4},  // more workers than tasks: clamp
+		{4, 8, 4},  // enough tasks: unchanged
+		{4, 0, 1},  // no tasks at all: one worker, never zero
+		{4, -3, 1}, // negative ceiling behaves like none
+		{0, 5, 1},  // degenerate worker count floors at one
+		{16, 16, 16},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.workers, c.maxTasks); got != c.want {
+			t.Fatalf("ClampWorkers(%d, %d) = %d, want %d", c.workers, c.maxTasks, got, c.want)
+		}
+	}
+}
+
+// TestGranularityShards pins the adaptive floor policy: sequential below
+// twice either floor, otherwise workers×PerWorker capped by both the
+// item and work ceilings.
+func TestGranularityShards(t *testing.T) {
+	g := Granularity{MinItems: 32, MinWork: 2048, PerWorker: 4}
+	cases := []struct {
+		items   int
+		work    int64
+		workers int
+		want    int
+	}{
+		{1000, 100000, 1, 1},  // one worker: always sequential
+		{63, 100000, 4, 1},    // under 2×MinItems
+		{1000, 4095, 4, 1},    // under 2×MinWork
+		{1000, 100000, 4, 16}, // wide open: workers×PerWorker
+		{128, 100000, 4, 4},   // item-capped: 128/32
+		{1000, 8192, 4, 4},    // work-capped: 8192/2048
+		{64, 4096, 16, 2},     // both floors just cleared
+	}
+	for _, c := range cases {
+		if got := g.Shards(c.items, c.work, c.workers); got != c.want {
+			t.Fatalf("Shards(%d, %d, %d) = %d, want %d", c.items, c.work, c.workers, got, c.want)
+		}
+	}
+	// Zero MinWork disables the work axis entirely.
+	noWork := Granularity{MinItems: 32, PerWorker: 4}
+	if got := noWork.Shards(1000, 0, 4); got != 16 {
+		t.Fatalf("work axis not disabled: %d", got)
+	}
+	// PerWorker < 1 is treated as 1.
+	flat := Granularity{MinItems: 1, PerWorker: 0}
+	if got := flat.Shards(100, 0, 4); got != 4 {
+		t.Fatalf("PerWorker floor: %d", got)
+	}
+}
+
+// TestSchedulerCounters verifies the observability counters: every task
+// is attributed to the worker that ran it, the total matches the spawn
+// count, and a multi-worker drain with deliberately unbalanced spawning
+// records steals.
+func TestSchedulerCounters(t *testing.T) {
+	var ran atomic.Int64
+	s := New[int](4, func(worker, task int) { ran.Add(1) })
+	const tasks = 400
+	for i := 0; i < tasks; i++ {
+		s.Spawn(0, i) // all on worker 0: the others must steal to help
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.TotalTasks() != tasks || ran.Load() != tasks {
+		t.Fatalf("counted %d tasks (ran %d), want %d", c.TotalTasks(), ran.Load(), tasks)
+	}
+	if len(c.Tasks) != 4 {
+		t.Fatalf("per-worker breakdown has %d slots, want 4", len(c.Tasks))
+	}
+	var sum int64
+	for _, v := range c.Tasks {
+		sum += v
+	}
+	if sum != c.TotalTasks() {
+		t.Fatalf("per-worker sum %d != total %d", sum, c.TotalTasks())
+	}
+	// Counters accumulate across rounds on a reused scheduler.
+	s.Spawn(1, 1)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counters().TotalTasks(); got != tasks+1 {
+		t.Fatalf("counters reset between rounds: %d", got)
+	}
+}
+
 // TestPool verifies the free-list round trip and that Get falls back to
 // New when empty.
 func TestPool(t *testing.T) {
@@ -208,7 +317,7 @@ func FuzzSchedulerDeterminism(f *testing.F) {
 	f.Add(uint64(42), uint8(7), uint16(300))
 	f.Add(uint64(0xdead), uint8(1), uint16(1))
 	f.Fuzz(func(t *testing.T, seed uint64, workers uint8, tasks uint16) {
-		w := int(workers%8) + 1
+		w := int(workers%16) + 1
 		n := int(tasks%512) + 1
 		ref := determinismRun(seed, 1, n)
 		got := determinismRun(seed, w, n)

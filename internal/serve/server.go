@@ -88,6 +88,15 @@ type Counters struct {
 	Timeout    int64 `json:"timeout"`  // deadline exceeded (504)
 	Failed     int64 `json:"failed"`   // execution failed (500)
 	InFlight   int64 `json:"in_flight"`
+	// Scheduler activity summed over every successfully answered query:
+	// parallel join-step tasks executed, tasks stolen across workers, and
+	// worker parks. All-zero when every request ran its steps
+	// sequentially (1-worker config or all steps below the granularity
+	// floor). Steals and parks are the contention signals; cache-shard
+	// lock waits are reported alongside in StatsResponse.Cache.
+	SchedTasks  int64 `json:"sched_tasks"`
+	SchedSteals int64 `json:"sched_steals"`
+	SchedParks  int64 `json:"sched_parks"`
 }
 
 // StatsResponse is the JSON body of /stats: graph metadata (what a
@@ -112,6 +121,7 @@ type Server struct {
 	requests, ok, degraded, badRequest  atomic.Int64
 	rejected, overload, timeout, failed atomic.Int64
 	inFlight                            atomic.Int64
+	schedTasks, schedSteals, schedParks atomic.Int64
 }
 
 // New wraps est. The estimator's Config decides the serving policy:
@@ -132,15 +142,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Counters snapshots the request accounting.
 func (s *Server) Counters() Counters {
 	return Counters{
-		Requests:   s.requests.Load(),
-		OK:         s.ok.Load(),
-		Degraded:   s.degraded.Load(),
-		BadRequest: s.badRequest.Load(),
-		Rejected:   s.rejected.Load(),
-		Overload:   s.overload.Load(),
-		Timeout:    s.timeout.Load(),
-		Failed:     s.failed.Load(),
-		InFlight:   s.inFlight.Load(),
+		Requests:    s.requests.Load(),
+		OK:          s.ok.Load(),
+		Degraded:    s.degraded.Load(),
+		BadRequest:  s.badRequest.Load(),
+		Rejected:    s.rejected.Load(),
+		Overload:    s.overload.Load(),
+		Timeout:     s.timeout.Load(),
+		Failed:      s.failed.Load(),
+		InFlight:    s.inFlight.Load(),
+		SchedTasks:  s.schedTasks.Load(),
+		SchedSteals: s.schedSteals.Load(),
+		SchedParks:  s.schedParks.Load(),
 	}
 }
 
@@ -235,6 +248,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 		return
 	}
+	s.schedTasks.Add(st.Sched.Tasks)
+	s.schedSteals.Add(st.Sched.Steals)
+	s.schedParks.Add(st.Sched.Parks)
 	resp := QueryResponse{
 		Query:         q,
 		Result:        st.Result,

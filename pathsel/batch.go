@@ -60,6 +60,12 @@ type CacheStats struct {
 	Hits, Misses, Puts, Evictions, Rejected uint64
 	Entries                                 int
 	Bytes, MaxBytes                         int64
+	// Shards is the cache's shard count; LockWaitNs is the cumulative
+	// time callers spent blocked on shard locks (zero when uncontended —
+	// the read-mostly locking means warm concurrent readers should keep
+	// it near zero, which is exactly what it exists to verify).
+	Shards     int
+	LockWaitNs int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
@@ -77,6 +83,7 @@ func cacheStatsOf(c *relcache.Cache) CacheStats {
 		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
 		Evictions: st.Evictions, Rejected: st.Rejected,
 		Entries: st.Entries, Bytes: st.Bytes, MaxBytes: st.MaxBytes,
+		Shards: st.Shards, LockWaitNs: st.LockWaitNs,
 	}
 }
 

@@ -215,7 +215,11 @@ type Config struct {
 	// label count still help on skewed label distributions — and
 	// ExecuteQuery's join steps, which shard each intermediate relation's
 	// source rows across the same scheduling substrate. Results are
-	// bit-identical at every setting.
+	// bit-identical at every setting. GOMAXPROCS is re-read at use time
+	// (sched.WorkerCount), and each layer clamps the count to the most
+	// tasks its workload can produce — asking for more workers than a
+	// graph has shardable rows configures nothing but idle goroutines,
+	// so the executor refuses to start them.
 	Workers int
 	// DensityThreshold tunes the census's hybrid relation rows: a row
 	// (the target set of one source vertex) is kept as a sorted sparse id

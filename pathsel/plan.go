@@ -62,6 +62,13 @@ type ExecStats struct {
 	// one. On a whole-query hit, Intermediates is empty and Work 0 —
 	// nothing intermediate was materialized.
 	CacheHits, CacheMisses int
+	// Sched reports the execution's work-stealing scheduler activity —
+	// tasks run (total and per worker), steals, and parks. All-zero when
+	// every join step ran sequentially (below the granularity floor, a
+	// 1-worker config, or a whole-query cache hit): zeros mean "no
+	// parallel work", not "no work". Steals and parks are the contention
+	// signals worth watching in production.
+	Sched exec.SchedStats
 	// Degraded marks a partial result: the query was rejected by the
 	// admission gate or killed mid-flight under Config.DegradeToEstimate,
 	// and Result holds the rounded histogram estimate instead of the
@@ -276,5 +283,6 @@ func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Ca
 		Result:        st.Result,
 		CacheHits:     st.CacheHits,
 		CacheMisses:   st.CacheMisses,
+		Sched:         st.Sched,
 	}, nil
 }
