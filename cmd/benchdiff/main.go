@@ -65,11 +65,13 @@ const cacheNoiseMult = 10
 
 // isWorkloadRow recognizes the whole-workload-pass rows: the cache
 // section (BENCH_cache.json), the serving section (BENCH_serve.json),
-// and the cross-layer scaling ladders (BENCH_scaling.json), whose batch
-// and serve rungs time the same kind of whole passes.
+// the cross-layer scaling ladders (BENCH_scaling.json), whose batch
+// and serve rungs time the same kind of whole passes, and the RPQ
+// section (BENCH_rpq.json), whose cold/warm rows time compiled-workload
+// passes of the same shape.
 func isWorkloadRow(name string) bool {
 	return strings.HasPrefix(name, "cache/") || strings.HasPrefix(name, "serve/") ||
-		strings.HasPrefix(name, "scaling/")
+		strings.HasPrefix(name, "scaling/") || strings.HasPrefix(name, "rpq/")
 }
 
 // caseKey identifies one comparable measurement across reports.

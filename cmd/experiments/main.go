@@ -13,8 +13,9 @@
 // file (table4.csv, figure2.csv, …) into DIR for plotting.
 //
 // The -bench-json, -bench-exec-json, -bench-par-exec-json,
-// -bench-bushy-json, -bench-cache-json, -bench-serve-json, and
-// -bench-scaling-json flags instead emit the committed BENCH_*.json perf
+// -bench-bushy-json, -bench-cache-json, -bench-serve-json,
+// -bench-scaling-json, and -bench-rpq-json flags instead emit the
+// committed BENCH_*.json perf
 // artifacts (schema in docs/benchmarks.md) and exit; -workers N
 // overrides the worker count of every bench emitter (default GOMAXPROCS,
 // resolved when the bench runs; the serve bench ignores it — its rows
@@ -48,6 +49,7 @@ func main() {
 	benchCacheJSON := flag.String("bench-cache-json", "", "run only the segment-relation cache workload bench (cold vs warm) and write a BENCH JSON report to this file, then exit")
 	benchServeJSON := flag.String("bench-serve-json", "", "run only the serving-layer load bench (cold vs warm Zipf passes over HTTP) and write a BENCH JSON report to this file, then exit")
 	benchScalingJSON := flag.String("bench-scaling-json", "", "run the cross-layer worker-scaling bench (exec, batch cache, serving ladders at workers 1/2/4) and write a BENCH JSON report to this file, then exit")
+	benchRPQJSON := flag.String("bench-rpq-json", "", "run only the regular-path-query bench (cold vs warm compiled workload, estimate quality vs the enumerated oracle) and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	// Default 0, not a captured GOMAXPROCS: the count resolves through
 	// sched.WorkerCount when the bench runs, so a GOMAXPROCS change after
@@ -103,6 +105,9 @@ func main() {
 		{*benchScalingJSON, func() (*experiments.PerfReport, error) {
 			return experiments.RunScalingBench(*scale, *benchIters, *workers)
 		}},
+		{*benchRPQJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunRPQBench(*scale, *benchIters, *workers)
+		}},
 	} {
 		if b.path == "" {
 			continue
@@ -126,7 +131,7 @@ func main() {
 	}
 	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" ||
 		*benchBushyJSON != "" || *benchCacheJSON != "" || *benchServeJSON != "" ||
-		*benchScalingJSON != "" {
+		*benchScalingJSON != "" || *benchRPQJSON != "" {
 		return
 	}
 

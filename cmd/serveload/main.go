@@ -10,12 +10,18 @@
 //
 //	serveload -url http://127.0.0.1:8080 -n 2000 -concurrency 8            # saturation (capacity)
 //	serveload -url http://127.0.0.1:8080 -n 2000 -rate 500 -zipf-s 1.2     # open loop at 500 qps
+//	serveload ... -rpq                                                     # RPQ-pattern pool against /query?pattern=
+//	serveload ... -batch 16                                                # group arrivals into POST /batch requests
 //	serveload ... -json report.json                                        # machine-readable report
 //
 // Rate 0 replays the whole trace as fast as the concurrency allows
 // (capacity mode — read the service latencies); a positive rate holds
 // the arrival process fixed regardless of server speed (open loop —
-// read the sojourn latencies, which charge queue wait).
+// read the sojourn latencies, which charge queue wait). -rpq swaps the
+// concrete-path pool for regular path patterns (alternation, optionals,
+// bounded repetition); -batch N issues the trace as POST /batch
+// requests of N consecutive arrivals, exercising the server's
+// parse-once batch executor.
 package main
 
 import (
@@ -40,10 +46,12 @@ func main() {
 	zipfS := flag.Float64("zipf-s", workload.DefaultZipfS, "Zipf skew exponent (> 1)")
 	zipfV := flag.Float64("zipf-v", workload.DefaultZipfV, "Zipf offset (>= 1)")
 	seed := flag.Int64("seed", 1, "trace seed")
+	rpq := flag.Bool("rpq", false, "draw the pool from RPQ patterns (alternation, ?, {m,n}) instead of concrete paths")
+	batch := flag.Int("batch", 0, "group this many consecutive arrivals into one POST /batch request (0 = per-query GETs)")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	flag.Parse()
 
-	if err := run(*url, *n, *rate, *concurrency, *poolSize, *maxLen, *zipfS, *zipfV, *seed, *jsonOut); err != nil {
+	if err := run(*url, *n, *rate, *concurrency, *poolSize, *maxLen, *zipfS, *zipfV, *seed, *rpq, *batch, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
@@ -69,7 +77,7 @@ func fetchStats(baseURL string) (*serve.StatsResponse, error) {
 	return &st, nil
 }
 
-func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int, zipfS, zipfV float64, seed int64, jsonOut string) error {
+func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int, zipfS, zipfV float64, seed int64, rpq bool, batch int, jsonOut string) error {
 	st, err := fetchStats(baseURL)
 	if err != nil {
 		return err
@@ -77,29 +85,54 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 	if maxLen <= 0 || maxLen > st.MaxPathLength {
 		maxLen = st.MaxPathLength
 	}
-	pool, err := workload.QueryPool(len(st.Labels), maxLen, poolSize, seed)
-	if err != nil {
-		return err
-	}
-	tr, err := workload.ZipfTrace(workload.TraceOptions{
-		Pool: pool, S: zipfS, V: zipfV, Rate: rate, N: n, Seed: seed,
-	})
-	if err != nil {
-		return err
-	}
-	trace, err := serve.TraceQueries(tr, st.Labels)
-	if err != nil {
-		return err
+	opts := workload.TraceOptions{S: zipfS, V: zipfV, Rate: rate, N: n, Seed: seed}
+	var trace []serve.TimedQuery
+	var poolLen int
+	if rpq {
+		pool, err := workload.RPQPool(st.Labels, maxLen, poolSize, seed)
+		if err != nil {
+			return err
+		}
+		tr, err := workload.ZipfRankTrace(len(pool), opts)
+		if err != nil {
+			return err
+		}
+		if trace, err = serve.RankQueries(tr, pool); err != nil {
+			return err
+		}
+		poolLen = len(pool)
+	} else {
+		pool, err := workload.QueryPool(len(st.Labels), maxLen, poolSize, seed)
+		if err != nil {
+			return err
+		}
+		opts.Pool = pool
+		tr, err := workload.ZipfTrace(opts)
+		if err != nil {
+			return err
+		}
+		if trace, err = serve.TraceQueries(tr, st.Labels); err != nil {
+			return err
+		}
+		poolLen = len(pool)
 	}
 
 	mode := "saturation"
 	if rate > 0 {
 		mode = fmt.Sprintf("open loop @ %g qps", rate)
 	}
-	fmt.Printf("serveload: %d requests over %d distinct queries (zipf s=%g), %s, concurrency %d\n",
-		len(trace), len(pool), zipfS, mode, concurrency)
+	kind := "path"
+	if rpq {
+		kind = "RPQ"
+	}
+	transport := "per-query"
+	if batch > 1 {
+		transport = fmt.Sprintf("batches of %d", batch)
+	}
+	fmt.Printf("serveload: %d requests over %d distinct %s queries (zipf s=%g), %s, concurrency %d, %s\n",
+		len(trace), poolLen, kind, zipfS, mode, concurrency, transport)
 
-	rep, err := serve.RunLoad(baseURL, trace, serve.LoadOptions{Concurrency: concurrency})
+	rep, err := serve.RunLoad(baseURL, trace, serve.LoadOptions{Concurrency: concurrency, Batch: batch})
 	if err != nil {
 		return err
 	}
@@ -125,6 +158,9 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 func printReport(rep *serve.LoadReport, rate float64) {
 	fmt.Printf("  outcomes: %d ok, %d degraded, %d rejected, %d overload, %d timeout, %d failed, %d bad, %d transport errors\n",
 		rep.OK, rep.Degraded, rep.Rejected, rep.Overload, rep.Timeout, rep.Failed, rep.BadRequest, rep.TransportErrors)
+	if rep.Batches > 0 {
+		fmt.Printf("  batches: %d issued\n", rep.Batches)
+	}
 	fmt.Printf("  throughput: %.0f qps over %v\n", rep.QPS, time.Duration(rep.ElapsedNs).Round(time.Millisecond))
 	fmt.Printf("  cache: %d hits / %d misses (hit rate %.1f%%)\n",
 		rep.CacheHits, rep.CacheMisses, 100*rep.HitRate())

@@ -1,0 +1,674 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// This file is the execution layer's regular-path-query (RPQ) surface:
+// a compiled expression DAG over the existing segment primitives, the
+// planner extension that costs and decomposes it, and the checked
+// executor that folds it left-to-right on the hybrid substrate.
+//
+// The algebra is small and exact. An RPQ is a '/'-separated sequence of
+// elements; each element is a label set (alternation — a single label is
+// the singleton set) under a bounded repetition [MinRep, MaxRep]
+// (optional is [0,1], a plain label [1,1]). The relation of an element
+// is U = ⋃_{r=max(1,MinRep)..MaxRep} A^r with A the union of the label
+// relations; the relation of the whole query is the fold
+//
+//	R_i = R_{i-1}∘U_i ∪ (eps_{i-1} ? U_i : ∅) ∪ (skip_i ? R_{i-1} : ∅)
+//	eps_i = eps_{i-1} ∧ skip_i            (skip_i ⇔ MinRep_i = 0)
+//
+// with R_0 = ∅, eps_0 = true. Because composition distributes over
+// union — R∘(S∪T) = R∘S ∪ R∘T — this fold is exactly the union of the
+// relations of every concrete path the expression expands to, which is
+// what the equivalence tests pin (bit-identical, since UnionWith is
+// representation-canonical). A whole-query MinLen of 0 (every element
+// optional) would make the identity relation a member of the union;
+// compilers must reject it, and validate panics on it.
+
+// MaxRepetition bounds an element's repetition upper bound. Unrolled
+// powers are materialized relations, so an unbounded (or absurd) MaxRep
+// is a resource bug, not a feature; 64 is far beyond any census-bounded
+// path length while still catching `a{1,1000000}` at parse time.
+const MaxRepetition = 64
+
+// RPQElem is one '/'-separated element of a compiled RPQ: an
+// alternation over Labels (sorted ascending, deduplicated) repeated
+// between MinRep and MaxRep times. A plain label is {l} with bounds
+// [1,1]; `x?` is bounds [0,1]; `x{2,3}` is bounds [2,3]; `*` is the
+// whole vocabulary with bounds [1,1].
+type RPQElem struct {
+	// Labels is the alternation's label set, sorted ascending and
+	// deduplicated (so equal elements compare equal and estimates are
+	// order-independent).
+	Labels []int
+	// MinRep and MaxRep bound the repetition count, 0 ≤ MinRep ≤ MaxRep,
+	// 1 ≤ MaxRep ≤ MaxRepetition. MinRep 0 makes the element skippable.
+	MinRep, MaxRep int
+}
+
+// simple reports whether the element is a plain single label — the case
+// the zig-zag/bushy machinery already handles natively.
+func (e RPQElem) simple() bool {
+	return len(e.Labels) == 1 && e.MinRep == 1 && e.MaxRep == 1
+}
+
+// skippable reports whether the element may match the empty path.
+func (e RPQElem) skippable() bool { return e.MinRep == 0 }
+
+// describe renders the element with numeric label ids (the graph-free
+// form; callers with a vocabulary render their own).
+func (e RPQElem) describe() string {
+	var b strings.Builder
+	if len(e.Labels) == 1 {
+		fmt.Fprintf(&b, "%d", e.Labels[0])
+	} else {
+		b.WriteByte('(')
+		for i, l := range e.Labels {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			fmt.Fprintf(&b, "%d", l)
+		}
+		b.WriteByte(')')
+	}
+	switch {
+	case e.MinRep == 1 && e.MaxRep == 1:
+	case e.MinRep == 0 && e.MaxRep == 1:
+		b.WriteByte('?')
+	case e.MinRep == e.MaxRep:
+		fmt.Fprintf(&b, "{%d}", e.MinRep)
+	default:
+		fmt.Fprintf(&b, "{%d,%d}", e.MinRep, e.MaxRep)
+	}
+	return b.String()
+}
+
+// RPQDag is a compiled regular path query: the element sequence of the
+// expression DAG. It is immutable after construction and safe to share
+// across goroutines; compile it once (pathsel.Compile) and execute it
+// many times.
+type RPQDag struct {
+	// Elems are the '/'-separated elements in query order.
+	Elems []RPQElem
+}
+
+// Validate panics unless the DAG is well-formed over a numLabels-label
+// vocabulary: at least one element, every element with a sorted
+// deduplicated non-empty in-range label set and sane repetition bounds,
+// and a whole-query MinLen ≥ 1 (an all-optional query would match the
+// empty path, whose relation is the identity — compilers reject it
+// before a DAG exists). Malformed DAGs are caller bugs, not runtime
+// failures, matching the executor's precondition contract.
+func (d *RPQDag) Validate(numLabels int) {
+	if d == nil || len(d.Elems) == 0 {
+		panic("exec: empty RPQ dag")
+	}
+	for i, e := range d.Elems {
+		if len(e.Labels) == 0 {
+			panic(fmt.Sprintf("exec: RPQ element %d has no labels", i))
+		}
+		for j, l := range e.Labels {
+			if l < 0 || l >= numLabels {
+				panic(fmt.Sprintf("exec: RPQ element %d label %d out of range [0,%d)", i, l, numLabels))
+			}
+			if j > 0 && e.Labels[j-1] >= l {
+				panic(fmt.Sprintf("exec: RPQ element %d labels not sorted/deduplicated", i))
+			}
+		}
+		if e.MinRep < 0 || e.MaxRep < 1 || e.MinRep > e.MaxRep || e.MaxRep > MaxRepetition {
+			panic(fmt.Sprintf("exec: RPQ element %d repetition bounds {%d,%d} invalid", i, e.MinRep, e.MaxRep))
+		}
+	}
+	if d.MinLen() == 0 {
+		panic("exec: RPQ dag may match the empty path")
+	}
+}
+
+// MinLen is the shortest concrete path length the expression matches.
+func (d *RPQDag) MinLen() int {
+	n := 0
+	for _, e := range d.Elems {
+		n += e.MinRep
+	}
+	return n
+}
+
+// MaxLen is the longest concrete path length the expression matches.
+func (d *RPQDag) MaxLen() int {
+	n := 0
+	for _, e := range d.Elems {
+		n += e.MaxRep
+	}
+	return n
+}
+
+// ConcretePath returns the query's single concrete path when every
+// element is a plain label — the case that bypasses the DAG machinery
+// entirely and runs on the existing path executors.
+func (d *RPQDag) ConcretePath() (paths.Path, bool) {
+	p := make(paths.Path, 0, len(d.Elems))
+	for _, e := range d.Elems {
+		if !e.simple() {
+			return nil, false
+		}
+		p = append(p, e.Labels[0])
+	}
+	return p, true
+}
+
+// Describe renders the DAG with numeric label ids.
+func (d *RPQDag) Describe() string {
+	parts := make([]string, len(d.Elems))
+	for i, e := range d.Elems {
+		parts[i] = e.describe()
+	}
+	return strings.Join(parts, "/")
+}
+
+// Expansions enumerates the concrete label paths the expression matches,
+// deduplicated (overlapping repetition windows like `a{1,2}/a{1,2}`
+// reach the same path twice) in deterministic first-reached order:
+// repetition counts ascending per element, labels in stored (sorted)
+// order, earlier elements varying slowest. It returns ok=false without
+// a partial result when the expansion exceeds limit — the cross-product
+// blowup the DAG execution path exists to avoid.
+func (d *RPQDag) Expansions(limit int) (exps []paths.Path, ok bool) {
+	seen := make(map[string]bool)
+	prefix := make(paths.Path, 0, d.MaxLen())
+	var elem func(i int) bool
+	elem = func(i int) bool {
+		if i == len(d.Elems) {
+			k := prefix.Key()
+			if seen[k] {
+				return true
+			}
+			if len(exps) >= limit {
+				return false
+			}
+			seen[k] = true
+			exps = append(exps, prefix.Clone())
+			return true
+		}
+		e := d.Elems[i]
+		var rep func(r int) bool
+		rep = func(r int) bool {
+			if r == 0 {
+				return elem(i + 1)
+			}
+			for _, l := range e.Labels {
+				prefix = append(prefix, l)
+				if !rep(r - 1) {
+					return false
+				}
+				prefix = prefix[:len(prefix)-1]
+			}
+			return true
+		}
+		for r := e.MinRep; r <= e.MaxRep; r++ {
+			if !rep(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if !elem(0) {
+		return nil, false
+	}
+	return exps, true
+}
+
+// DagBlockPlan is one block of a planned DAG: either a maximal run of
+// plain-label elements (Run non-empty), executed as an ordinary path
+// segment under Tree — a leaf is a zig-zag plan, a join node a bushy
+// tree, exactly the existing plan space — or one complex element (Elem),
+// whose relation is built by alternation-union and repetition-unroll.
+type DagBlockPlan struct {
+	// Lo, Hi delimit the element range [Lo, Hi) of the DAG this block
+	// covers; complex-element blocks always span exactly one element.
+	Lo, Hi int
+	// Run is the run block's concrete label path (nil for element
+	// blocks); Tree is its plan, spanning [0, len(Run)).
+	Run  paths.Path
+	Tree *PlanTree
+	// Elem is the element of a complex-element block.
+	Elem RPQElem
+	// Est is the estimated pair count of the block's finished relation.
+	Est float64
+}
+
+// DagPlan is the planned form of an RPQDag: its block decomposition plus
+// the plan-wide cost estimate. Build it with Planner.PlanDag; pass nil
+// to ExecuteDagChecked to plan with a zero estimator (every leaf runs
+// forward).
+type DagPlan struct {
+	Blocks []DagBlockPlan
+	// Cost is the estimated total intermediate volume: run-block plan
+	// costs (the zig-zag/bushy DP objective), the unrolled power
+	// intermediates of element blocks, and both inputs of every
+	// block-boundary join.
+	Cost float64
+	// ResultEst is the estimated pair count of the final relation under
+	// the independence model (exact per-block estimates folded with an
+	// n-normalized join).
+	ResultEst float64
+}
+
+// Describe renders the plan: run blocks by their tree plan, element
+// blocks by their element, joined by the fold operator.
+func (dp *DagPlan) Describe() string {
+	parts := make([]string, len(dp.Blocks))
+	for i, b := range dp.Blocks {
+		if b.Run != nil {
+			parts[i] = b.Tree.Describe(len(b.Run))
+		} else {
+			parts[i] = b.Elem.describe()
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, " ⋈ ") + ")"
+}
+
+// validateFor panics unless the plan decomposes exactly the given DAG —
+// a mismatched plan (planned from a different expression) is a caller
+// bug that would silently execute the wrong query.
+func (dp *DagPlan) validateFor(d *RPQDag) {
+	at := 0
+	for i, b := range dp.Blocks {
+		if b.Lo != at || b.Hi <= b.Lo || b.Hi > len(d.Elems) {
+			panic(fmt.Sprintf("exec: dag plan block %d spans [%d,%d) at element %d", i, b.Lo, b.Hi, at))
+		}
+		if b.Run != nil {
+			if len(b.Run) != b.Hi-b.Lo {
+				panic(fmt.Sprintf("exec: dag plan block %d run length %d over %d elements", i, len(b.Run), b.Hi-b.Lo))
+			}
+			for j, l := range b.Run {
+				e := d.Elems[b.Lo+j]
+				if !e.simple() || e.Labels[0] != l {
+					panic(fmt.Sprintf("exec: dag plan block %d run mismatches element %d", i, b.Lo+j))
+				}
+			}
+			b.Tree.validate(0, len(b.Run))
+		} else {
+			if b.Hi != b.Lo+1 {
+				panic(fmt.Sprintf("exec: dag plan element block %d spans %d elements", i, b.Hi-b.Lo))
+			}
+		}
+		at = b.Hi
+	}
+	if at != len(d.Elems) {
+		panic(fmt.Sprintf("exec: dag plan covers %d of %d elements", at, len(d.Elems)))
+	}
+}
+
+// elemEst estimates the pair count of one complex element's relation
+// U = ⋃_{r=lo..MaxRep} A^r. Single-label powers are estimated exactly by
+// the estimator (the power of label l is the repeated-label path l^r —
+// the same key its relations are cached under); multi-label powers use
+// the independence model s·(s/n)^(r-1) over the alternation estimate
+// s = Σ_l Est({l}). Union sizes are summed (an upper bound; overlap is
+// workload-dependent and a bound is what admission wants).
+func (pl Planner) elemEst(e RPQElem, n int) (est float64, buildCost float64) {
+	single := len(e.Labels) == 1
+	var s1 float64
+	power := make(paths.Path, 0, e.MaxRep)
+	for _, l := range e.Labels {
+		s1 += pl.Est.Estimate(paths.Path{l})
+	}
+	lo := max(1, e.MinRep)
+	pow := s1
+	for r := 1; r <= e.MaxRep; r++ {
+		if r > 1 {
+			if single {
+				power = power[:0]
+				for i := 0; i < r; i++ {
+					power = append(power, e.Labels[0])
+				}
+				pow = pl.Est.Estimate(power)
+			} else if n > 0 {
+				pow *= s1 / float64(n)
+			}
+		}
+		if r >= lo {
+			est += pow
+		}
+		if r < e.MaxRep {
+			buildCost += pow // unrolled power intermediate entering the next step
+		}
+	}
+	return est, buildCost
+}
+
+// PlanDag extends the planner DP over a compiled RPQ: the element
+// sequence is decomposed into maximal plain-label runs — each planned
+// with the existing zig-zag/bushy machinery (ChooseTreeWithCost when
+// bushy, the cheapest zig-zag otherwise), so cached segments, interior
+// starts, and bushy joins all apply inside a run — and single complex
+// elements, costed by their unroll intermediates. Block relations are
+// folded left-to-right; the fold's size recurrence mirrors the
+// executor's union algebra under the independence model, and every
+// block-boundary join charges both materialized inputs, matching the
+// bushy DP's cost model. n is the vertex universe (join normalization);
+// the DAG must be valid.
+func (pl Planner) PlanDag(d *RPQDag, n int, bushy bool) *DagPlan {
+	dp := &DagPlan{}
+	for i := 0; i < len(d.Elems); {
+		if d.Elems[i].simple() {
+			j := i
+			run := paths.Path{}
+			for j < len(d.Elems) && d.Elems[j].simple() {
+				run = append(run, d.Elems[j].Labels[0])
+				j++
+			}
+			var tree *PlanTree
+			var cost float64
+			if bushy {
+				tree, cost = pl.ChooseTreeWithCost(run)
+			} else {
+				plan := pl.ChoosePlan(run)
+				tree = &PlanTree{Lo: 0, Hi: len(run), Start: plan.Start}
+				cost = pl.PlanCost(run, plan.Start)
+			}
+			dp.Blocks = append(dp.Blocks, DagBlockPlan{
+				Lo: i, Hi: j, Run: run, Tree: tree, Est: pl.Est.Estimate(run),
+			})
+			dp.Cost += cost
+			i = j
+			continue
+		}
+		e := d.Elems[i]
+		est, buildCost := pl.elemEst(e, n)
+		dp.Blocks = append(dp.Blocks, DagBlockPlan{Lo: i, Hi: i + 1, Elem: e, Est: est})
+		dp.Cost += buildCost
+		i++
+	}
+	// Fold the block sizes: size_i = size·est/n (join) + est when the
+	// prefix may be empty + size when the block is skippable — the
+	// estimator's image of the executor's R_i recurrence. Joins after the
+	// first block consume both materialized inputs.
+	size, eps := 0.0, true
+	for i, b := range dp.Blocks {
+		skip := b.Run == nil && b.Elem.skippable()
+		if i == 0 {
+			size, eps = b.Est, skip
+			continue
+		}
+		dp.Cost += size + b.Est
+		next := 0.0
+		if n > 0 {
+			next = size * b.Est / float64(n)
+		}
+		if eps {
+			next += b.Est
+		}
+		if skip {
+			next += size
+		}
+		size, eps = next, eps && skip
+	}
+	dp.ResultEst = size
+	return dp
+}
+
+// dagExec carries one ExecuteDagChecked call's state: the execution
+// view of the cache, the shared stepper, the stats accumulator, and the
+// set of live pooled relations, released wholesale on every abort path
+// (including contained panics) so a killed RPQ leaks nothing.
+type dagExec struct {
+	g    *graph.CSR
+	opt  Options
+	sc   *segCache
+	stp  *stepper
+	st   *Stats
+	live []*bitset.HybridRelation
+}
+
+// take checks a fresh relation out of the pool and tracks it live.
+func (dx *dagExec) take() *bitset.HybridRelation {
+	rel := getRel(dx.opt.Pool, dx.g.NumVertices(), dx.opt.DensityThreshold)
+	dx.live = append(dx.live, rel)
+	return rel
+}
+
+// adopt tracks a relation produced by a nested executor (already checked
+// out of the same pool) live.
+func (dx *dagExec) adopt(rel *bitset.HybridRelation) {
+	dx.live = append(dx.live, rel)
+}
+
+// drop releases one live relation back to the pool.
+func (dx *dagExec) drop(rel *bitset.HybridRelation) {
+	if rel == nil {
+		return
+	}
+	for i, r := range dx.live {
+		if r == rel {
+			dx.live[i] = dx.live[len(dx.live)-1]
+			dx.live = dx.live[:len(dx.live)-1]
+			break
+		}
+	}
+	putRel(dx.opt.Pool, rel)
+}
+
+// releaseAll releases every live relation — the abort path.
+func (dx *dagExec) releaseAll() {
+	for _, r := range dx.live {
+		putRel(dx.opt.Pool, r)
+	}
+	dx.live = dx.live[:0]
+}
+
+// buildBlock materializes one block's relation. Run blocks delegate to
+// the existing checked executors (whole-segment cache fast path, bushy
+// subtrees, sharded compose — everything applies). Element blocks build
+// the alternation base A as a union of label relations, then unroll
+// powers A^r up to MaxRep, accumulating U = ⋃_{r≥max(1,MinRep)} A^r.
+// Single-label powers step through the segment cache under their
+// repeated-label path key — the same key a concrete query's segments
+// use, so a warm `b{1,3}` adopts the cached `bb` and `bbb` relations and
+// a warm `b/b` adopts a power this block published.
+func (dx *dagExec) buildBlock(b DagBlockPlan) (*bitset.HybridRelation, error) {
+	if b.Run != nil {
+		var (
+			rel *bitset.HybridRelation
+			st  Stats
+			err error
+		)
+		if b.Tree.IsLeaf() {
+			rel, st, err = ExecutePlanChecked(dx.g, b.Run, Plan{Start: b.Tree.Start}, dx.opt)
+		} else {
+			rel, st, err = ExecuteTreeChecked(dx.g, b.Run, b.Tree, dx.opt)
+		}
+		dx.st.Intermediates = append(dx.st.Intermediates, st.Intermediates...)
+		dx.st.CacheHits += st.CacheHits
+		dx.st.CacheMisses += st.CacheMisses
+		dx.st.Sched.merge(st.Sched)
+		if err != nil {
+			return nil, err
+		}
+		dx.adopt(rel)
+		return rel, nil
+	}
+	e := b.Elem
+	// Alternation base A = ⋃ label relations. Single-label relations are
+	// CSR copies (never cached, matching the segment cache's length ≥ 2
+	// rule).
+	a := dx.take()
+	a.FillFromCSR(dx.g.LabelOperand(e.Labels[0]))
+	if len(e.Labels) > 1 {
+		tmp := dx.take()
+		for _, l := range e.Labels[1:] {
+			tmp.FillFromCSR(dx.g.LabelOperand(l))
+			a.UnionWith(tmp)
+		}
+		dx.drop(tmp)
+	}
+	if err := dx.opt.checkBudget(a); err != nil {
+		return nil, err
+	}
+	if e.MaxRep == 1 {
+		return a, nil
+	}
+	lo := max(1, e.MinRep)
+	u := dx.take()
+	if lo == 1 {
+		u.UnionWith(a)
+	}
+	single := len(e.Labels) == 1
+	power := make(paths.Path, 0, e.MaxRep)
+	if single {
+		power = append(power, e.Labels[0])
+	}
+	pow := a
+	for r := 2; r <= e.MaxRep; r++ {
+		faultinject.Fire("exec.step")
+		if err := dx.opt.Cancel.Err(); err != nil {
+			return nil, err
+		}
+		next := dx.take()
+		if single {
+			// The power of label l is the concrete segment l^r: step it
+			// through the cache under that path key, shared with ordinary
+			// queries over repeated labels — the repetition-unroll
+			// cache-sharing rule.
+			power = append(power, e.Labels[0])
+			dx.st.Intermediates = append(dx.st.Intermediates, pow.Pairs())
+			if !dx.sc.adopt(power, false, next) {
+				if err := dx.stp.compose(pow, next, dx.g.LabelOperand(e.Labels[0])); err != nil {
+					return nil, err
+				}
+				if err := dx.opt.Cancel.Err(); err != nil {
+					return nil, err // partial step output: discard, never cache
+				}
+				dx.sc.put(power, false, next)
+			}
+		} else {
+			dx.st.Intermediates = append(dx.st.Intermediates, pow.Pairs(), a.Pairs())
+			if err := dx.stp.join(pow, next, a); err != nil {
+				return nil, err
+			}
+			if err := dx.opt.Cancel.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if pow != a {
+			dx.drop(pow)
+		}
+		pow = next
+		if err := dx.opt.checkBudget(pow); err != nil {
+			return nil, err
+		}
+		if r >= lo {
+			u.UnionWith(pow)
+		}
+	}
+	if pow != a {
+		dx.drop(pow)
+	}
+	dx.drop(a)
+	if err := dx.opt.checkBudget(u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// run executes the planned fold and returns the final relation.
+func (dx *dagExec) run(dp *DagPlan) (*bitset.HybridRelation, error) {
+	var cur *bitset.HybridRelation
+	eps := true
+	for i, b := range dp.Blocks {
+		faultinject.Fire("exec.step")
+		if err := dx.opt.Cancel.Err(); err != nil {
+			return nil, err
+		}
+		u, err := dx.buildBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		skip := b.Run == nil && b.Elem.skippable()
+		if i == 0 {
+			// R_1 = U_1 (eps_0 is true and R_0 empty).
+			cur, eps = u, skip
+			continue
+		}
+		dx.st.Intermediates = append(dx.st.Intermediates, cur.Pairs(), u.Pairs())
+		dst := dx.take()
+		if err := dx.stp.join(cur, dst, u); err != nil {
+			return nil, err
+		}
+		if err := dx.opt.Cancel.Err(); err != nil {
+			return nil, err // partial join output: discard
+		}
+		if eps {
+			dst.UnionWith(u)
+		}
+		if skip {
+			dst.UnionWith(cur)
+		}
+		dx.drop(cur)
+		dx.drop(u)
+		cur = dst
+		eps = eps && skip
+		if err := dx.opt.checkBudget(cur); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// ExecuteDagChecked evaluates a compiled RPQ over g under the checked
+// contract of ExecutePlanChecked: cancellation and deadline checks at
+// every block and power boundary (plus the kernels' cooperative flag
+// mid-step), budget enforcement on every materialized relation,
+// contained panics as typed errors, and every pooled relation released
+// on abort. dp must have been planned for d (Planner.PlanDag); nil
+// plans with a zero estimator. The result is the union of the relations
+// of every concrete path d expands to — bit-identical to enumerating
+// the expansions through ExecutePlanChecked and folding UnionWith, at
+// every worker count. It panics on a malformed DAG or a plan/DAG
+// mismatch (caller bugs).
+func ExecuteDagChecked(g *graph.CSR, d *RPQDag, dp *DagPlan, opt Options) (rel *bitset.HybridRelation, st Stats, err error) {
+	d.Validate(g.NumLabels())
+	if dp == nil {
+		dp = Planner{Est: EstimatorFunc(func(paths.Path) float64 { return 0 })}.
+			PlanDag(d, g.NumVertices(), false)
+	}
+	dp.validateFor(d)
+	st = Stats{Plan: Plan{Start: -1}}
+	if err := opt.Cancel.Err(); err != nil {
+		return nil, st, err
+	}
+	n := g.NumVertices()
+	dx := &dagExec{g: g, opt: opt, sc: newSegCache(opt.Cache, n, opt.DensityThreshold), st: &st}
+	dx.stp = newStepper(n, opt.Workers)
+	dx.stp.setCancel(opt.Cancel.Flag())
+	// Preconditions are validated; from here every panic is contained as
+	// a typed error with the in-flight relations released.
+	err = containPanics(func() (e error) {
+		rel, e = dx.run(dp)
+		return e
+	})
+	st.Sched.add(dx.stp.counters())
+	hits, misses := dx.sc.counters()
+	st.CacheHits += hits
+	st.CacheMisses += misses
+	if err != nil {
+		dx.releaseAll()
+		return nil, st, err
+	}
+	st.Result = rel.Pairs()
+	for _, v := range st.Intermediates {
+		st.Work += v
+	}
+	return rel, st, nil
+}

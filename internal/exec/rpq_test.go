@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/relcache"
+)
+
+// randomDag draws a small well-formed RPQ over numLabels labels:
+// 1–3 elements mixing plain labels, alternations, optionals, and
+// bounded repetitions, re-drawn until MinLen ≥ 1.
+func randomDag(rng *rand.Rand, numLabels int) *RPQDag {
+	for {
+		d := &RPQDag{}
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			var labels []int
+			for _, l := range rng.Perm(numLabels)[:1+rng.Intn(2)] {
+				labels = append(labels, l)
+			}
+			sortInts(labels)
+			lo := rng.Intn(2)
+			hi := max(1, lo+rng.Intn(3-lo))
+			d.Elems = append(d.Elems, RPQElem{Labels: labels, MinRep: lo, MaxRep: hi})
+		}
+		if d.MinLen() >= 1 && d.MaxLen() <= 6 {
+			return d
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// expansionUnion is the oracle: the union of every enumerated concrete
+// path's relation, each built by the plain checked executor.
+func expansionUnion(t *testing.T, g *graph.CSR, d *RPQDag, opt Options) *bitset.HybridRelation {
+	t.Helper()
+	exps, ok := d.Expansions(100000)
+	if !ok {
+		t.Fatalf("dag %s: expansion overflow", d.Describe())
+	}
+	out := bitset.NewHybrid(g.NumVertices(), opt.DensityThreshold)
+	for _, p := range exps {
+		rel, _, err := ExecutePlanChecked(g, p, Plan{Start: 0}, Options{DensityThreshold: opt.DensityThreshold})
+		if err != nil {
+			t.Fatalf("oracle path %v: %v", p, err)
+		}
+		out.UnionWith(rel)
+	}
+	return out
+}
+
+// TestExecuteDagMatchesExpansionUnion pins the tentpole equivalence:
+// the DAG fold is bit-identical to the union of its enumerated
+// concrete-path expansions, at workers 1–8, planned and unplanned,
+// cached and uncached.
+func TestExecuteDagMatchesExpansionUnion(t *testing.T) {
+	g := testGraph(t)
+	est := EstimatorFunc(func(p paths.Path) float64 { return float64(paths.Selectivity(g, p)) })
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		d := randomDag(rng, g.NumLabels())
+		want := expansionUnion(t, g, d, Options{})
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, bushy := range []bool{false, true} {
+				dp := Planner{Est: est}.PlanDag(d, g.NumVertices(), bushy)
+				got, st, err := ExecuteDagChecked(g, d, dp, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("dag %s workers=%d bushy=%v: %v", d.Describe(), workers, bushy, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("dag %s workers=%d bushy=%v: result differs from expansion union",
+						d.Describe(), workers, bushy)
+				}
+				if st.Result != want.Pairs() {
+					t.Fatalf("dag %s: Result %d != %d", d.Describe(), st.Result, want.Pairs())
+				}
+			}
+		}
+		// Unplanned (nil DagPlan) and cache-warmed runs must agree too.
+		got, _, err := ExecuteDagChecked(g, d, nil, Options{})
+		if err != nil {
+			t.Fatalf("dag %s unplanned: %v", d.Describe(), err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("dag %s: unplanned result differs", d.Describe())
+		}
+		cache := relcache.New(relcache.Options{MaxBytes: 1 << 20})
+		for pass := 0; pass < 2; pass++ {
+			got, _, err := ExecuteDagChecked(g, d, nil, Options{Cache: cache})
+			if err != nil {
+				t.Fatalf("dag %s cached pass %d: %v", d.Describe(), pass, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("dag %s: cached pass %d differs", d.Describe(), pass)
+			}
+		}
+	}
+}
+
+// TestExecuteDagRepetitionSharesCache pins the cache-sharing rule: a
+// warm b{1,3} adopts the b^2 and b^3 power relations a previous run (or
+// a concrete b/b/b query) published under their repeated-label keys.
+func TestExecuteDagRepetitionSharesCache(t *testing.T) {
+	g := testGraph(t)
+	cache := relcache.New(relcache.Options{MaxBytes: 1 << 20})
+	d := &RPQDag{Elems: []RPQElem{{Labels: []int{1}, MinRep: 1, MaxRep: 3}}}
+	_, cold, err := ExecuteDagChecked(g, d, nil, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheMisses != 2 || cold.CacheHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/2 (b², b³ published)", cold.CacheHits, cold.CacheMisses)
+	}
+	_, warm, err := ExecuteDagChecked(g, d, nil, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 2 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 2/0", warm.CacheHits, warm.CacheMisses)
+	}
+	// A concrete b/b query adopts the power the unroll published.
+	_, cst, err := ExecutePlanChecked(g, paths.Path{1, 1}, Plan{Start: 0}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.CacheHits != 1 {
+		t.Fatalf("concrete b/b after b{1,3}: hits=%d, want 1", cst.CacheHits)
+	}
+}
+
+// TestExecuteDagCancelHygiene pins pool hygiene on aborted DAG runs: a
+// pre-cancelled execution returns the typed cause with zero relations
+// checked out.
+func TestExecuteDagCancelHygiene(t *testing.T) {
+	g := testGraph(t)
+	pool := NewRelPool(g.NumVertices(), 0)
+	d := &RPQDag{Elems: []RPQElem{
+		{Labels: []int{0, 1}, MinRep: 1, MaxRep: 3},
+		{Labels: []int{2}, MinRep: 0, MaxRep: 2},
+	}}
+	canc := &Canceller{}
+	canc.Cancel(nil)
+	if _, _, err := ExecuteDagChecked(g, d, nil, Options{Cancel: canc, Pool: pool}); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("pre-cancelled run: err=%v, want ErrCancelled", err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool has %d relations checked out after abort", pool.InUse())
+	}
+	// Budget abort mid-run must release everything too.
+	if _, _, err := ExecuteDagChecked(g, d, nil, Options{MaxResultBytes: 1, Pool: pool, Cancel: &Canceller{}}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("tiny budget: err=%v, want ErrBudgetExceeded", err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool has %d relations checked out after budget abort", pool.InUse())
+	}
+	rel, _, err := ExecuteDagChecked(g, d, nil, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(rel)
+	if pool.InUse() != 0 {
+		t.Fatalf("pool has %d relations checked out after success", pool.InUse())
+	}
+}
+
+// TestDagExpansions pins the enumeration: order-determinism, dedup of
+// overlapping repetition windows, and the overflow signal.
+func TestDagExpansions(t *testing.T) {
+	d := &RPQDag{Elems: []RPQElem{
+		{Labels: []int{0}, MinRep: 0, MaxRep: 1},
+		{Labels: []int{1, 2}, MinRep: 1, MaxRep: 1},
+	}}
+	exps, ok := d.Expansions(100)
+	if !ok || len(exps) != 4 {
+		t.Fatalf("a?/(b|c): got %v ok=%v, want 4 expansions", exps, ok)
+	}
+	want := []paths.Path{{1}, {2}, {0, 1}, {0, 2}}
+	for i := range want {
+		if !exps[i].Equal(want[i]) {
+			t.Fatalf("expansion %d = %v, want %v", i, exps[i], want[i])
+		}
+	}
+	// a{1,2}/a{1,2} reaches a³ twice; the enumeration dedups it.
+	dd := &RPQDag{Elems: []RPQElem{
+		{Labels: []int{0}, MinRep: 1, MaxRep: 2},
+		{Labels: []int{0}, MinRep: 1, MaxRep: 2},
+	}}
+	exps, ok = dd.Expansions(100)
+	if !ok || len(exps) != 3 {
+		t.Fatalf("a{1,2}/a{1,2}: got %d expansions, want 3 (a², a³, a⁴)", len(exps))
+	}
+	if _, ok := dd.Expansions(2); ok {
+		t.Fatal("limit 2 should overflow")
+	}
+}
+
+// TestPlanDagRunDecomposition pins the block decomposition: maximal
+// plain-label runs collapse into one planned block.
+func TestPlanDagRunDecomposition(t *testing.T) {
+	g := testGraph(t)
+	est := EstimatorFunc(func(p paths.Path) float64 { return float64(paths.Selectivity(g, p)) })
+	d := &RPQDag{Elems: []RPQElem{
+		{Labels: []int{0}, MinRep: 1, MaxRep: 1},
+		{Labels: []int{1}, MinRep: 1, MaxRep: 1},
+		{Labels: []int{1, 2}, MinRep: 1, MaxRep: 1},
+		{Labels: []int{2}, MinRep: 1, MaxRep: 1},
+	}}
+	dp := Planner{Est: est}.PlanDag(d, g.NumVertices(), true)
+	if len(dp.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (run[0,2), (1|2), run[3,4))", len(dp.Blocks))
+	}
+	if dp.Blocks[0].Run == nil || len(dp.Blocks[0].Run) != 2 {
+		t.Fatalf("block 0 = %+v, want a length-2 run", dp.Blocks[0])
+	}
+	if dp.Blocks[1].Run != nil {
+		t.Fatalf("block 1 = %+v, want the alternation element", dp.Blocks[1])
+	}
+	if dp.Cost <= 0 || dp.ResultEst < 0 {
+		t.Fatalf("plan cost %f / est %f not positive", dp.Cost, dp.ResultEst)
+	}
+}

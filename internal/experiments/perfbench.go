@@ -55,6 +55,13 @@ type PerfResult struct {
 	P95Ns int64   `json:"p95_ns,omitempty"`
 	P99Ns int64   `json:"p99_ns,omitempty"`
 	QPS   float64 `json:"qps,omitempty"`
+
+	// Cache traffic of one workload pass and estimate quality versus the
+	// enumerated oracle, filled only by the RPQ bench (rpq/* rows).
+	// Additive and omitempty like the serving fields above.
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+	QError      float64 `json:"q_error,omitempty"`
 }
 
 // PerfReport is the committed BENCH_*.json artifact: a snapshot of the

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestRunRPQBenchShape pins the artifact's rows: cold baseline, warm
+// pass with nonzero repetition-unroll cache hits and a positive
+// speedup ratio, and an estimate row with a finite q-error ≥ 1.
+func TestRunRPQBenchShape(t *testing.T) {
+	rep, err := RunRPQBench(0.02, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]int{}
+	for _, r := range rep.Results {
+		rows[r.Name]++
+		switch r.Name {
+		case "rpq/cold":
+			if r.NsPerOp <= 0 {
+				t.Errorf("%s on %s: ns_per_op %d", r.Name, r.Dataset, r.NsPerOp)
+			}
+		case "rpq/warm":
+			if r.Speedup <= 0 {
+				t.Errorf("%s on %s: speedup %f", r.Name, r.Dataset, r.Speedup)
+			}
+			if r.CacheHits == 0 {
+				t.Errorf("%s on %s: no cache hits — repetition unroll not sharing", r.Name, r.Dataset)
+			}
+		case "rpq/estimate":
+			if r.QError < 1 {
+				t.Errorf("%s on %s: q-error %f < 1", r.Name, r.Dataset, r.QError)
+			}
+		}
+	}
+	for _, name := range []string{"rpq/cold", "rpq/warm", "rpq/estimate"} {
+		if rows[name] != len(cacheBenchDatasets) {
+			t.Errorf("row %s appears %d times, want %d", name, rows[name], len(cacheBenchDatasets))
+		}
+	}
+}

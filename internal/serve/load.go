@@ -48,11 +48,31 @@ func TraceQueries(tr []workload.Arrival, labels []string) ([]TimedQuery, error) 
 	return out, nil
 }
 
+// RankQueries renders a rank-only trace (workload.ZipfRankTrace) into
+// timed queries over a wire-format pool — the RPQ-pattern counterpart
+// of TraceQueries, since patterns are strings rather than label paths.
+func RankQueries(tr []workload.Arrival, pool []string) ([]TimedQuery, error) {
+	out := make([]TimedQuery, len(tr))
+	for i, a := range tr {
+		if a.Rank < 0 || a.Rank >= len(pool) {
+			return nil, fmt.Errorf("serve: trace arrival %d rank %d outside pool of %d", i, a.Rank, len(pool))
+		}
+		out[i] = TimedQuery{At: a.At, Query: pool[a.Rank]}
+	}
+	return out, nil
+}
+
 // LoadOptions tunes one RunLoad call.
 type LoadOptions struct {
 	// Concurrency is the number of replayer workers — the maximum
 	// in-flight requests (≥ 1; 0 selects 1). Arrivals past that queue.
 	Concurrency int
+	// Batch groups consecutive arrivals into POST /batch requests of
+	// this size (≤ 1 issues per-query GET /query requests). A batch is
+	// released once its last member has arrived, so batching trades
+	// per-query latency for the server-side cache amortization the
+	// batch endpoint exists for.
+	Batch int
 	// Client issues the requests (nil selects http.DefaultClient).
 	Client *http.Client
 }
@@ -81,6 +101,9 @@ type LoadReport struct {
 	// TransportErrors counts requests that never produced an HTTP
 	// response (connection refused, client-side timeout).
 	TransportErrors int64 `json:"transport_errors"`
+	// Batches counts the /batch requests issued (0 in per-query mode);
+	// the outcome counters above still partition individual queries.
+	Batches int64 `json:"batches,omitempty"`
 
 	// CacheHits/CacheMisses sum the per-response cache counters of every
 	// 2xx answer.
@@ -160,13 +183,40 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 	if workers < 1 {
 		workers = 1
 	}
+	step := opt.Batch
+	if step < 1 {
+		step = 1
+	}
 
 	var mu sync.Mutex
 	rep := &LoadReport{Queries: len(trace)}
 	service := make([]int64, 0, len(trace))
 	sojourn := make([]int64, 0, len(trace))
 
-	// The dispatcher owns the clock: it releases each arrival at its
+	// count attributes one query outcome to its counter (mu held).
+	count := func(status int, degraded bool) {
+		switch status {
+		case http.StatusOK:
+			if degraded {
+				rep.Degraded++
+			} else {
+				rep.OK++
+			}
+		case http.StatusBadRequest:
+			rep.BadRequest++
+		case http.StatusTooManyRequests:
+			rep.Rejected++
+		case http.StatusGatewayTimeout:
+			rep.Timeout++
+		case http.StatusInternalServerError:
+			rep.Failed++
+		default:
+			rep.Overload++
+		}
+	}
+
+	// The dispatcher owns the clock: it releases each arrival (or batch
+	// of consecutive arrivals, once the last member has arrived) at its
 	// scheduled time into a queue deep enough to never block, so a slow
 	// server cannot slow the arrival process down. Workers drain the
 	// queue; an arrival's sojourn starts at its *scheduled* time whether
@@ -178,51 +228,81 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				tq := trace[i]
+			for lo := range jobs {
+				hi := lo + step
+				if hi > len(trace) {
+					hi = len(trace)
+				}
 				issued := time.Now()
-				st, hits, misses, transportErr := doQuery(client, baseURL, tq.Query)
+				if step == 1 {
+					tq := trace[lo]
+					st, hits, misses, transportErr := doQuery(client, baseURL, tq.Query)
+					done := time.Now()
+					mu.Lock()
+					if transportErr {
+						rep.TransportErrors++
+					} else {
+						count(st.status, st.degraded)
+						if st.status == http.StatusOK {
+							rep.CacheHits += int64(hits)
+							rep.CacheMisses += int64(misses)
+						}
+					}
+					service = append(service, done.Sub(issued).Nanoseconds())
+					soj := done.Sub(start.Add(tq.At)).Nanoseconds()
+					if soj < 0 {
+						soj = 0
+					}
+					sojourn = append(sojourn, soj)
+					mu.Unlock()
+					continue
+				}
+				qs := make([]string, hi-lo)
+				for i := lo; i < hi; i++ {
+					qs[i-lo] = trace[i].Query
+				}
+				items, status, transportErr := doBatch(client, baseURL, qs)
 				done := time.Now()
 				mu.Lock()
-				if transportErr {
-					rep.TransportErrors++
-				} else {
-					switch st.status {
-					case http.StatusOK:
-						if st.degraded {
-							rep.Degraded++
-						} else {
-							rep.OK++
-						}
-						rep.CacheHits += int64(hits)
-						rep.CacheMisses += int64(misses)
-					case http.StatusBadRequest:
-						rep.BadRequest++
-					case http.StatusTooManyRequests:
-						rep.Rejected++
-					case http.StatusGatewayTimeout:
-						rep.Timeout++
-					case http.StatusInternalServerError:
-						rep.Failed++
+				rep.Batches++
+				for i := lo; i < hi; i++ {
+					switch {
+					case transportErr:
+						rep.TransportErrors++
+					case status != http.StatusOK || i-lo >= len(items):
+						// A whole-batch rejection (e.g. a 400 naming one
+						// bad query) charges every member.
+						count(status, false)
 					default:
-						rep.Overload++
+						it := items[i-lo]
+						if it.Error != "" {
+							count(codeStatus(it.Code), false)
+						} else {
+							count(http.StatusOK, it.Degraded)
+							rep.CacheHits += int64(it.CacheHits)
+							rep.CacheMisses += int64(it.CacheMisses)
+						}
 					}
+					service = append(service, done.Sub(issued).Nanoseconds())
+					soj := done.Sub(start.Add(trace[i].At)).Nanoseconds()
+					if soj < 0 {
+						soj = 0
+					}
+					sojourn = append(sojourn, soj)
 				}
-				service = append(service, done.Sub(issued).Nanoseconds())
-				soj := done.Sub(start.Add(tq.At)).Nanoseconds()
-				if soj < 0 {
-					soj = 0
-				}
-				sojourn = append(sojourn, soj)
 				mu.Unlock()
 			}
 		}()
 	}
-	for i, tq := range trace {
-		if d := time.Until(start.Add(tq.At)); d > 0 {
+	for lo := 0; lo < len(trace); lo += step {
+		hi := lo + step
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		if d := time.Until(start.Add(trace[hi-1].At)); d > 0 {
 			time.Sleep(d)
 		}
-		jobs <- i
+		jobs <- lo
 	}
 	close(jobs)
 	wg.Wait()
@@ -234,6 +314,47 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 	rep.Service = summarize(service)
 	rep.Sojourn = summarize(sojourn)
 	return rep, nil
+}
+
+// codeStatus maps a wire error code back to the HTTP status its class
+// answers with — per-item batch outcomes carry only the code.
+func codeStatus(code string) int {
+	switch code {
+	case CodeAdmissionDenied:
+		return http.StatusTooManyRequests
+	case CodeBudgetExceeded, CodeCancelled:
+		return http.StatusServiceUnavailable
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeBadRequest, CodeBadPattern:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// doBatch issues one POST /batch and decodes the per-item outcomes.
+// items is nil unless the batch answered 200.
+func doBatch(client *http.Client, baseURL string, qs []string) (items []BatchItem, status int, transportErr bool) {
+	body, err := json.Marshal(BatchRequest{Queries: qs})
+	if err != nil {
+		return nil, 0, true
+	}
+	resp, err := client.Post(baseURL+"/batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, 0, true
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	if status == http.StatusOK {
+		var br BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err == nil {
+			items = br.Results
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return items, status, false
 }
 
 // queryOutcome is the slice of a response RunLoad classifies on.

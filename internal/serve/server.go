@@ -24,6 +24,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -61,14 +62,15 @@ type ErrorResponse struct {
 	// Error is the human-readable cause.
 	Error string `json:"error"`
 	// Code is the machine-readable error class: one of bad_request,
-	// admission_denied, budget_exceeded, deadline_exceeded, cancelled,
-	// execution_failed.
+	// bad_pattern, admission_denied, budget_exceeded, deadline_exceeded,
+	// cancelled, execution_failed.
 	Code string `json:"code"`
 }
 
 // Error codes of ErrorResponse.Code.
 const (
 	CodeBadRequest      = "bad_request"
+	CodeBadPattern      = "bad_pattern" // RPQ grammar violation (still a 400)
 	CodeAdmissionDenied = "admission_denied"
 	CodeBudgetExceeded  = "budget_exceeded"
 	CodeDeadline        = "deadline_exceeded"
@@ -76,10 +78,16 @@ const (
 	CodeExecutionFailed = "execution_failed"
 )
 
+// maxBatchQueries bounds one /batch request; larger workloads should be
+// split client-side (the cache amortization batches exist for saturates
+// well below this).
+const maxBatchQueries = 1024
+
 // Counters is a snapshot of the server's request accounting, reported
 // by /stats and asserted by the end-to-end tests.
 type Counters struct {
 	Requests   int64 `json:"requests"`
+	Batches    int64 `json:"batches"`
 	OK         int64 `json:"ok"`
 	Degraded   int64 `json:"degraded"`
 	BadRequest int64 `json:"bad_request"`
@@ -118,7 +126,8 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
-	requests, ok, degraded, badRequest  atomic.Int64
+	requests, batches                   atomic.Int64
+	ok, degraded, badRequest            atomic.Int64
 	rejected, overload, timeout, failed atomic.Int64
 	inFlight                            atomic.Int64
 	schedTasks, schedSteals, schedParks atomic.Int64
@@ -132,6 +141,7 @@ func New(est *pathsel.Estimator) *Server {
 	s := &Server{est: est, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -143,6 +153,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Counters() Counters {
 	return Counters{
 		Requests:    s.requests.Load(),
+		Batches:     s.batches.Load(),
 		OK:          s.ok.Load(),
 		Degraded:    s.degraded.Load(),
 		BadRequest:  s.badRequest.Load(),
@@ -192,6 +203,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // deadline expiry, 500 only for contained execution failures.
 func errClass(err error) (status int, code string) {
 	switch {
+	case errors.Is(err, pathsel.ErrBadPattern):
+		// RPQ grammar violations get their own wire code so clients can
+		// tell a malformed pattern (fix the query) from an unknown label
+		// or a missing parameter (fix the request).
+		return http.StatusBadRequest, CodeBadPattern
 	case errors.Is(err, pathsel.ErrAdmissionDenied):
 		return http.StatusTooManyRequests, CodeAdmissionDenied
 	case errors.Is(err, pathsel.ErrBudgetExceeded):
@@ -233,12 +249,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	q := r.URL.Query().Get("q")
-	if q == "" {
+	// v2 wire API: `pattern` carries a regular path query (the full RPQ
+	// grammar — alternation, optional, bounded repetition); `q` is the
+	// v1 name, which the estimator now accepts the same grammar under.
+	// Exactly one must be present.
+	q, pattern := r.URL.Query().Get("q"), r.URL.Query().Get("pattern")
+	switch {
+	case q != "" && pattern != "":
 		s.badRequest.Add(1)
 		writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{Error: "missing q parameter (slash-separated label path)", Code: CodeBadRequest})
+			ErrorResponse{Error: "give either q or pattern, not both", Code: CodeBadRequest})
 		return
+	case q == "" && pattern == "":
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "missing q or pattern parameter (RPQ such as a/(b|c)/d?/e{1,3})", Code: CodeBadRequest})
+		return
+	case pattern != "":
+		q = pattern
 	}
 	start := time.Now()
 	st, err := s.est.ExecuteQueryCtx(r.Context(), q)
@@ -268,5 +296,119 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.ok.Add(1)
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the JSON body of POST /batch: a workload of RPQ
+// patterns executed through one shared relation cache, so segments
+// recurring across the batch are materialized once.
+type BatchRequest struct {
+	// Queries are the patterns (same grammar as /query).
+	Queries []string `json:"queries"`
+	// Workers is the number of queries executed concurrently (≤ 0
+	// selects 1). Results are bit-identical at every setting.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchItem is one query's outcome within a batch response: a
+// QueryResponse on success, or Error/Code (the same classes /query
+// answers with) on a per-query kill. A per-query failure never fails
+// the batch.
+type BatchItem struct {
+	QueryResponse
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// BatchResponse is the JSON body of a successful POST /batch.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	// LatencyNs is the server-side handling time of the whole batch.
+	LatencyNs int64 `json:"latency_ns"`
+}
+
+// handleBatch executes a whole workload per request. Every pattern is
+// compiled before anything executes — a malformed workload is a 400
+// naming the first offending query — then the batch runs through the
+// estimator's parse-once batch executor under the request context.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			ErrorResponse{Error: "use POST with a JSON body", Code: CodeBadRequest})
+		return
+	}
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "malformed batch body: " + err.Error(), Code: CodeBadRequest})
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "batch needs at least one query", Code: CodeBadRequest})
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("batch of %d queries exceeds %d", len(req.Queries), maxBatchQueries), Code: CodeBadRequest})
+		return
+	}
+	s.batches.Add(1)
+	start := time.Now()
+	xs := make([]*pathsel.Expr, len(req.Queries))
+	for i, q := range req.Queries {
+		x, err := s.est.Compile(q)
+		if err != nil {
+			_, code := errClass(err)
+			s.badRequest.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("query %d: %s", i, err), Code: code})
+			return
+		}
+		xs[i] = x
+	}
+	br, err := s.est.ExecuteExprBatchCtx(r.Context(), xs, pathsel.BatchOptions{Workers: req.Workers})
+	if err != nil {
+		// Unreachable with handles we just compiled; classify defensively.
+		status, code := errClass(err)
+		s.countError(status)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(br.Results))}
+	for i, qr := range br.Results {
+		item := BatchItem{QueryResponse: QueryResponse{
+			Query:         string(qr.Query),
+			Result:        qr.Result,
+			Plan:          qr.Plan.Description,
+			EstimatedCost: qr.Plan.EstimatedCost,
+			Work:          qr.Work,
+			CacheHits:     qr.CacheHits,
+			CacheMisses:   qr.CacheMisses,
+			Degraded:      qr.Degraded,
+		}}
+		switch {
+		case qr.Err != nil:
+			status, code := errClass(qr.Err)
+			s.countError(status)
+			item.Error, item.Code = qr.Err.Error(), code
+		case qr.Degraded:
+			s.degraded.Add(1)
+			_, item.DegradedBy = errClass(qr.DegradedBy)
+		default:
+			s.ok.Add(1)
+		}
+		s.schedTasks.Add(qr.Sched.Tasks)
+		s.schedSteals.Add(qr.Sched.Steals)
+		s.schedParks.Add(qr.Sched.Parks)
+		resp.Results[i] = item
+	}
+	resp.LatencyNs = time.Since(start).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -116,20 +116,23 @@ func TestQueryHappyPathWarmCache(t *testing.T) {
 func TestQueryMalformed(t *testing.T) {
 	_, srv, ts := newTestServer(t, pathsel.Config{})
 	cases := []struct {
-		name, url string
+		name, url, code string
 	}{
-		{"missing q", ts.URL + "/query"},
-		{"unknown label", ts.URL + "/query?q=zzz"},
-		{"empty segment", ts.URL + "/query?q=a%2F%2Fb"},
-		{"too long", ts.URL + "/query?q=a/a/a/a/a/a"},
+		{"missing q", ts.URL + "/query", CodeBadRequest},
+		{"both q and pattern", ts.URL + "/query?q=a&pattern=a", CodeBadRequest},
+		{"unknown label", ts.URL + "/query?q=zzz", CodeBadRequest},
+		{"empty segment", ts.URL + "/query?q=a%2F%2Fb", CodeBadPattern},
+		{"unclosed group", ts.URL + "/query?pattern=%28a%7Cb", CodeBadPattern},
+		{"inverted bounds", ts.URL + "/query?pattern=a%7B3%2C1%7D", CodeBadPattern},
+		{"too long", ts.URL + "/query?q=a/a/a/a/a/a", CodeBadRequest},
 	}
 	for _, c := range cases {
 		var er ErrorResponse
 		if st := getJSON(t, c.url, &er); st != http.StatusBadRequest {
 			t.Fatalf("%s: status %d, want 400", c.name, st)
 		}
-		if er.Code != CodeBadRequest {
-			t.Fatalf("%s: code %q, want %q", c.name, er.Code, CodeBadRequest)
+		if er.Code != c.code {
+			t.Fatalf("%s: code %q, want %q", c.name, er.Code, c.code)
 		}
 		if er.Error == "" {
 			t.Fatalf("%s: empty error message", c.name)

@@ -1,0 +1,86 @@
+package workload
+
+// RPQ workload generation: ranked pools of regular path *patterns*
+// rather than concrete label paths, for driving the serving layer's
+// pattern grammar (pathsel.Compile) — alternation, optionals, bounded
+// repetition — the way QueryPool drives the concrete-path surface.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RPQPool builds a deterministic ranked pool of n distinct RPQ patterns
+// over the label vocabulary, each matching only paths of length in
+// [1, maxLen]. Segments mix plain labels, grouped alternations `(a|b)`,
+// wildcards `*`, optionals `?`, and bounded repetitions `{m,k}`. Ranks
+// are assigned in draw order (pool[0] is the hottest for ZipfTrace).
+// When the pattern domain is too small to supply n distinct patterns
+// the pool is whatever the domain yielded, so callers may over-ask on
+// tiny vocabularies.
+func RPQPool(labels []string, maxLen, n int, seed int64) ([]string, error) {
+	if len(labels) < 1 || maxLen < 1 || n < 1 {
+		return nil, fmt.Errorf("workload: RPQ pool needs labels, maxLen, n ≥ 1 (got %d, %d, %d)",
+			len(labels), maxLen, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	// A duplicate streak this long means the domain is (close to)
+	// exhausted — stop instead of spinning.
+	for misses := 0; len(out) < n && misses < 64+16*n; {
+		p := randomPattern(rng, labels, maxLen)
+		if seen[p] {
+			misses++
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// randomPattern draws one pattern with 1 ≤ MinLen and MaxLen ≤ maxLen.
+func randomPattern(rng *rand.Rand, labels []string, maxLen int) string {
+	for {
+		var segs []string
+		minLen, maxTot := 0, 0
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			var atom string
+			switch rng.Intn(5) {
+			case 0:
+				atom = "*"
+			case 1:
+				a, b := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+				if a != b {
+					atom = "(" + a + "|" + b + ")"
+				} else {
+					atom = a
+				}
+			default:
+				atom = labels[rng.Intn(len(labels))]
+			}
+			lo, hi := 1, 1
+			switch rng.Intn(4) {
+			case 0:
+				atom += "?"
+				lo = 0
+			case 1:
+				hi = 1 + rng.Intn(2)
+				lo = rng.Intn(hi + 1)
+				if lo == hi {
+					atom += fmt.Sprintf("{%d}", hi)
+				} else {
+					atom += fmt.Sprintf("{%d,%d}", lo, hi)
+				}
+			}
+			segs = append(segs, atom)
+			minLen += lo
+			maxTot += hi
+		}
+		if minLen >= 1 && maxTot <= maxLen {
+			return strings.Join(segs, "/")
+		}
+	}
+}

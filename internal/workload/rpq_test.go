@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRPQPoolDeterministicAndDistinct(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	p1, err := RPQPool(labels, 3, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RPQPool(labels, 3, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 40 {
+		t.Fatalf("pool size %d, want 40", len(p1))
+	}
+	seen := map[string]bool{}
+	for i, p := range p1 {
+		if p != p2[i] {
+			t.Fatalf("pool not deterministic at %d: %q vs %q", i, p, p2[i])
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pattern %q", p)
+		}
+		seen[p] = true
+		if p == "" || strings.HasPrefix(p, "/") || strings.HasSuffix(p, "/") {
+			t.Fatalf("malformed pattern %q", p)
+		}
+	}
+	if _, err := RPQPool(nil, 3, 10, 1); err == nil {
+		t.Fatal("empty vocabulary should error")
+	}
+}
+
+// TestRPQPoolSmallDomain pins the exhaustion behavior: a tiny domain
+// yields fewer patterns than asked, not a spin.
+func TestRPQPoolSmallDomain(t *testing.T) {
+	pool, err := RPQPool([]string{"a"}, 1, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) == 0 || len(pool) >= 1000 {
+		t.Fatalf("1-label length-1 domain gave %d patterns", len(pool))
+	}
+}
+
+func TestZipfRankTraceMatchesZipfTrace(t *testing.T) {
+	pool, err := QueryPool(3, 3, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := TraceOptions{Pool: pool, N: 200, Seed: 9, Rate: 1000}
+	full, err := ZipfTrace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := ZipfRankTrace(len(pool), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if full[i].Rank != ranks[i].Rank || full[i].At != ranks[i].At {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, full[i], ranks[i])
+		}
+		if ranks[i].Query != nil {
+			t.Fatalf("rank trace bound a query at %d", i)
+		}
+		if !full[i].Query.Equal(pool[full[i].Rank]) {
+			t.Fatalf("full trace query %d not the ranked pool entry", i)
+		}
+	}
+	if _, err := ZipfRankTrace(0, opt); err == nil {
+		t.Fatal("empty pool should error")
+	}
+}

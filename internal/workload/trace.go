@@ -69,6 +69,26 @@ func ZipfTrace(opt TraceOptions) ([]Arrival, error) {
 	if len(opt.Pool) == 0 {
 		return nil, fmt.Errorf("workload: trace needs a non-empty query pool")
 	}
+	out, err := ZipfRankTrace(len(opt.Pool), opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Query = opt.Pool[out[i].Rank]
+	}
+	return out, nil
+}
+
+// ZipfRankTrace is ZipfTrace for pools this package does not hold (RPQ
+// pattern strings, pre-compiled handles): it draws arrival times and
+// popularity ranks over a pool of the given size, leaving each
+// Arrival.Query nil — callers bind Rank to their own pool entries (the
+// serving layer's RankQueries does this for wire-format pools).
+// opt.Pool is ignored.
+func ZipfRankTrace(poolSize int, opt TraceOptions) ([]Arrival, error) {
+	if poolSize < 1 {
+		return nil, fmt.Errorf("workload: trace needs a pool of ≥ 1 queries, got %d", poolSize)
+	}
 	if opt.N < 1 {
 		return nil, fmt.Errorf("workload: trace needs N ≥ 1 arrivals, got %d", opt.N)
 	}
@@ -92,7 +112,7 @@ func ZipfTrace(opt TraceOptions) ([]Arrival, error) {
 		return nil, fmt.Errorf("workload: rate is NaN")
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	zipf := rand.NewZipf(rng, s, v, uint64(len(opt.Pool)-1))
+	zipf := rand.NewZipf(rng, s, v, uint64(poolSize-1))
 	out := make([]Arrival, opt.N)
 	var at time.Duration
 	for i := range out {
@@ -106,10 +126,10 @@ func ZipfTrace(opt TraceOptions) ([]Arrival, error) {
 		// return ranks past imax; such a distribution is a delta at rank
 		// 0 anyway, so clamp to the hottest query.
 		rank := int(zipf.Uint64())
-		if rank < 0 || rank >= len(opt.Pool) {
+		if rank < 0 || rank >= poolSize {
 			rank = 0
 		}
-		out[i] = Arrival{At: at, Rank: rank, Query: opt.Pool[rank]}
+		out[i] = Arrival{At: at, Rank: rank}
 	}
 	return out, nil
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/paths"
 	"repro/internal/relcache"
 )
 
@@ -14,9 +13,9 @@ import (
 // one (64 MiB).
 const DefaultCacheBytes = relcache.DefaultMaxBytes
 
-// Query is one path query of a batch workload: a slash-separated
-// label-name path, the same syntax ExecuteQuery accepts (e.g.
-// "knows/likes/knows").
+// Query is one path query of a batch workload: any RPQ pattern
+// ExecuteQuery accepts (e.g. "knows/likes/knows",
+// "knows/(likes|follows)/knows?", "knows{1,3}").
 type Query string
 
 // Queries converts a list of query strings into a batch workload.
@@ -157,16 +156,40 @@ func (e *Estimator) ExecuteBatch(queries []Query, opt BatchOptions) (*BatchResul
 // rejected queries degrade to histogram answers instead of carrying an
 // Err.
 func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) (*BatchResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ps := make([]paths.Path, len(queries))
+	xs := make([]*Expr, len(queries))
 	for i, q := range queries {
-		p, err := e.parseBounded(string(q))
+		x, err := e.Compile(string(q))
 		if err != nil {
 			return nil, fmt.Errorf("pathsel: batch query %d: %w", i, err)
 		}
-		ps[i] = p
+		xs[i] = x
+	}
+	return e.ExecuteExprBatchCtx(ctx, xs, opt)
+}
+
+// ExecuteExprBatch executes a workload of pre-compiled queries — the
+// parse-once counterpart of ExecuteBatch, for workloads that repeat: a
+// serving layer compiles its query set once and hands the same handles
+// to every batch, so nothing is reparsed or re-validated per round.
+// Every Expr must have been compiled by this estimator; a nil or
+// foreign handle fails the whole batch before anything executes.
+func (e *Estimator) ExecuteExprBatch(exprs []*Expr, opt BatchOptions) (*BatchResult, error) {
+	return e.ExecuteExprBatchCtx(context.Background(), exprs, opt)
+}
+
+// ExecuteExprBatchCtx is ExecuteExprBatch under a context, with the
+// same cancellation semantics as ExecuteBatchCtx.
+func (e *Estimator) ExecuteExprBatchCtx(ctx context.Context, exprs []*Expr, opt BatchOptions) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i, x := range exprs {
+		switch {
+		case x == nil:
+			return nil, fmt.Errorf("pathsel: batch query %d: %w: nil compiled query", i, ErrBadPattern)
+		case x.est != e:
+			return nil, fmt.Errorf("pathsel: batch query %d: %w: compiled by a different estimator", i, ErrBadPattern)
+		}
 	}
 
 	var cache *relcache.Cache
@@ -180,13 +203,13 @@ func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt Ba
 	}
 
 	g := e.gr.csr() // freeze once, before any worker goroutine exists
-	res := &BatchResult{Results: make([]BatchQueryResult, len(queries))}
+	res := &BatchResult{Results: make([]BatchQueryResult, len(exprs))}
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > len(exprs) {
+		workers = len(exprs)
 	}
 	queryWorkers := e.cfg.Workers
 	if workers > 1 {
@@ -196,7 +219,7 @@ func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt Ba
 		// A dead batch context stops issuing work: remaining entries are
 		// marked with the batch's abort cause without touching the graph.
 		if err := ctx.Err(); err != nil {
-			res.Results[i] = BatchQueryResult{Query: queries[i], Err: translateCtxErr(err)}
+			res.Results[i] = BatchQueryResult{Query: Query(exprs[i].pattern), Err: translateCtxErr(err)}
 			return
 		}
 		qctx, qcancel := ctx, context.CancelFunc(func() {})
@@ -204,13 +227,13 @@ func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt Ba
 			qctx, qcancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
 		}
 		canc, release := newQueryCanceller(qctx)
-		st, err := e.executeParsed(g, ps[i], cache, queryWorkers, canc)
+		st, err := e.executeExpr(g, exprs[i], cache, queryWorkers, canc)
 		release()
 		qcancel()
-		res.Results[i] = BatchQueryResult{Query: queries[i], ExecStats: st, Err: err}
+		res.Results[i] = BatchQueryResult{Query: Query(exprs[i].pattern), ExecStats: st, Err: err}
 	}
 	if workers <= 1 {
-		for i := range ps {
+		for i := range exprs {
 			runOne(i)
 		}
 	} else {
@@ -228,7 +251,7 @@ func (e *Estimator) ExecuteBatchCtx(ctx context.Context, queries []Query, opt Ba
 				}
 			}()
 		}
-		for i := range ps {
+		for i := range exprs {
 			idx <- i
 		}
 		close(idx)

@@ -75,31 +75,30 @@ func (gr *Graph) expandPattern(pattern string) ([]paths.Path, error) {
 	return out, nil
 }
 
-// EstimatePattern estimates the total selectivity of a path pattern
-// (wildcards `*` and alternations `a|b` per segment) by summing the
-// histogram estimates of its expansions. Summation is bag semantics: a
-// vertex pair connected by two matching paths counts twice. For the exact
-// set-semantics answer, see TruePatternSelectivity.
+// EstimatePattern estimates the total selectivity of an RPQ pattern
+// (the full Compile grammar: wildcards `*`, alternations `(a|b)`,
+// optionals `d?`, bounded repetitions `e{1,3}`) under bag semantics: a
+// vertex pair connected by two distinct matching paths counts twice.
+// It routes through the compiled DAG — patterns whose expansion count
+// exceeds maxPatternExpansions are estimated from the DAG plan's
+// independence model instead of failing, so cost scales with the
+// expression, not the cross product. For the exact set-semantics
+// answer, see TruePatternSelectivity.
 func (e *Estimator) EstimatePattern(pattern string) (float64, error) {
-	ps, err := e.gr.expandPattern(pattern)
+	x, err := e.Compile(pattern)
 	if err != nil {
 		return 0, err
 	}
-	var total float64
-	for _, p := range ps {
-		if len(p) > e.cfg.MaxPathLength {
-			return 0, fmt.Errorf("%w: pattern %q expands beyond %d", ErrPathTooLong, pattern, e.cfg.MaxPathLength)
-		}
-		total += e.ph.Estimate(p)
-	}
-	return total, nil
+	return x.Estimate(), nil
 }
 
 // TruePatternSelectivity evaluates a pattern exactly under set semantics:
 // the number of distinct vertex pairs connected by at least one matching
-// path.
+// path. It enumerates the pattern's concrete expansions (bounded by
+// maxPatternExpansions) — the ground-truth oracle the DAG execution path
+// is pinned bit-identical to.
 func (gr *Graph) TruePatternSelectivity(pattern string) (int64, error) {
-	ps, err := gr.expandPattern(pattern)
+	ps, err := gr.patternExpansions(pattern)
 	if err != nil {
 		return 0, err
 	}
@@ -107,10 +106,10 @@ func (gr *Graph) TruePatternSelectivity(pattern string) (int64, error) {
 }
 
 // TruePatternBagSelectivity evaluates a pattern exactly under bag
-// semantics (the sum of the expansions' selectivities) — the quantity
-// EstimatePattern approximates.
+// semantics (the sum of the distinct expansions' selectivities) — the
+// quantity EstimatePattern approximates.
 func (gr *Graph) TruePatternBagSelectivity(pattern string) (int64, error) {
-	ps, err := gr.expandPattern(pattern)
+	ps, err := gr.patternExpansions(pattern)
 	if err != nil {
 		return 0, err
 	}

@@ -131,16 +131,17 @@ func (e *Estimator) planParsed(p paths.Path, cache *relcache.Cache) QueryPlan {
 	return qp
 }
 
-// PlanQuery chooses among the query's zig-zag join plans using this
-// estimator's histogram, without executing anything. The returned
-// QueryPlan carries the estimated cost of every candidate so the caller
-// can inspect the margin.
+// PlanQuery chooses among the query's join plans using this estimator's
+// histogram, without executing anything: for a concrete path the
+// zig-zag/bushy choice with the estimated cost of every candidate start
+// so the caller can inspect the margin, for an RPQ pattern the planned
+// DAG fold. It is a compile-per-call wrapper over Compile + Expr.Plan.
 func (e *Estimator) PlanQuery(q string) (QueryPlan, error) {
-	p, err := e.parseBounded(q)
+	x, err := e.Compile(q)
 	if err != nil {
 		return QueryPlan{}, err
 	}
-	return e.planParsed(p, e.cache), nil
+	return x.Plan(), nil
 }
 
 // ExecuteQuery plans q with the histogram and carries the chosen plan out
@@ -171,22 +172,16 @@ func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
 // ErrDeadlineExceeded (or a degraded estimate, under
 // Config.DegradeToEstimate). Config.QueryTimeout, when set, is applied
 // on top of ctx as a per-query deadline.
+//
+// q may be any RPQ pattern (see Compile), not just a concrete path; the
+// call is a compile-per-call wrapper over Compile + Expr.ExecuteCtx, so
+// repeated queries should compile once and execute the handle.
 func (e *Estimator) ExecuteQueryCtx(ctx context.Context, q string) (ExecStats, error) {
-	p, err := e.parseBounded(q)
+	x, err := e.Compile(q)
 	if err != nil {
 		return ExecStats{}, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if e.cfg.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
-		defer cancel()
-	}
-	canc, release := newQueryCanceller(ctx)
-	defer release()
-	return e.executeParsed(e.gr.csr(), p, e.cache, e.cfg.Workers, canc)
+	return x.ExecuteCtx(ctx)
 }
 
 // admissionBytesPerPair prices one projected vertex pair for the
@@ -229,13 +224,15 @@ func degradable(cause error) bool {
 
 // degrade resolves a rejected or killed query: under
 // Config.DegradeToEstimate (and a degradable cause) it answers with the
-// rounded histogram estimate, marked Degraded with the typed cause;
-// otherwise the cause propagates as the error.
-func (e *Estimator) degrade(plan QueryPlan, p paths.Path, cause error) (ExecStats, error) {
+// rounded histogram estimate est, marked Degraded with the typed cause;
+// otherwise the cause propagates as the error. est is passed in rather
+// than recomputed so compiled RPQs degrade to their compile-time
+// estimate.
+func (e *Estimator) degrade(plan QueryPlan, est float64, cause error) (ExecStats, error) {
 	if !e.cfg.DegradeToEstimate || !degradable(cause) {
 		return ExecStats{Plan: plan}, cause
 	}
-	r := int64(math.Round(e.ph.Estimate(p)))
+	r := int64(math.Round(est))
 	if r < 0 {
 		r = 0
 	}
@@ -251,8 +248,9 @@ func (e *Estimator) degrade(plan QueryPlan, p paths.Path, cause error) (ExecStat
 // counters survive into ExecStats.
 func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int, canc *exec.Canceller) (ExecStats, error) {
 	plan := e.planParsed(p, cache)
-	if err := e.admit(plan, e.ph.Estimate(p)); err != nil {
-		return e.degrade(plan, p, err)
+	est := e.ph.Estimate(p)
+	if err := e.admit(plan, est); err != nil {
+		return e.degrade(plan, est, err)
 	}
 	opt := exec.Options{
 		DensityThreshold: e.cfg.DensityThreshold,
@@ -274,7 +272,7 @@ func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Ca
 		e.pool.Put(rel)
 	}
 	if err != nil {
-		return e.degrade(plan, p, translateExecErr(err))
+		return e.degrade(plan, est, translateExecErr(err))
 	}
 	return ExecStats{
 		Plan:          plan,

@@ -1,0 +1,324 @@
+package pathsel
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/relcache"
+)
+
+// This file is the public regular-path-query surface: the RPQ grammar
+// parser and the parse-once query handle (Compile → *Expr) the string
+// entry points wrap.
+//
+// Grammar, per '/'-separated segment:
+//
+//	atom:        name | * | (a|b|c) | a|b|c
+//	quantifier:  ε | ? | {m} | {m,n}      (0 ≤ m ≤ n, 1 ≤ n ≤ 64)
+//
+// `*` is the whole label vocabulary, bare alternation `a|b` is the
+// legacy pattern syntax (equivalent to the grouped form), `?` is {0,1},
+// and a quantifier binds to the whole segment atom: `(a|b){2}` matches
+// any two-step path whose steps are each a or b. A pattern that could
+// match the empty path (every segment optional) is rejected — the empty
+// path's relation is the identity, which is never what a selectivity
+// query means.
+
+// compileRPQ parses a pattern into the execution layer's expression
+// DAG. Errors wrap the package sentinels: ErrEmptyPath for an empty
+// pattern, ErrUnknownLabel for unresolvable names, ErrBadPattern for
+// grammar violations (empty segments or branches, unclosed or nested
+// groups, malformed or inverted repetition bounds, all-optional
+// patterns).
+func (gr *Graph) compileRPQ(pattern string) (*exec.RPQDag, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("%w: empty pattern", ErrEmptyPath)
+	}
+	d := &exec.RPQDag{}
+	for _, seg := range strings.Split(pattern, "/") {
+		e, err := gr.parseRPQElem(seg, pattern)
+		if err != nil {
+			return nil, err
+		}
+		d.Elems = append(d.Elems, e)
+	}
+	if d.MinLen() == 0 {
+		return nil, fmt.Errorf("%w: pattern %q may match the empty path (every segment optional)",
+			ErrBadPattern, pattern)
+	}
+	return d, nil
+}
+
+// parseRPQElem parses one '/'-separated segment into an element.
+func (gr *Graph) parseRPQElem(seg, pattern string) (exec.RPQElem, error) {
+	bad := func(format string, args ...any) (exec.RPQElem, error) {
+		return exec.RPQElem{}, fmt.Errorf("%w: segment %q in pattern %q: %s",
+			ErrBadPattern, seg, pattern, fmt.Sprintf(format, args...))
+	}
+	atom, minRep, maxRep := seg, 1, 1
+	switch {
+	case strings.HasSuffix(atom, "?"):
+		atom, minRep = atom[:len(atom)-1], 0
+	case strings.HasSuffix(atom, "}"):
+		i := strings.LastIndex(atom, "{")
+		if i < 0 {
+			return bad("'}' without '{'")
+		}
+		bounds := strings.Split(atom[i+1:len(atom)-1], ",")
+		atom = atom[:i]
+		if len(bounds) > 2 {
+			return bad("repetition bounds need one or two counts")
+		}
+		var ok bool
+		if minRep, ok = parseCount(bounds[0]); !ok {
+			return bad("repetition bound %q is not a count", bounds[0])
+		}
+		maxRep = minRep
+		if len(bounds) == 2 {
+			if maxRep, ok = parseCount(bounds[1]); !ok {
+				return bad("repetition bound %q is not a count", bounds[1])
+			}
+		}
+		switch {
+		case maxRep < minRep:
+			return bad("inverted repetition bounds {%d,%d}", minRep, maxRep)
+		case maxRep < 1:
+			return bad("zero repetitions match nothing")
+		case maxRep > exec.MaxRepetition:
+			return bad("repetition bound %d exceeds %d", maxRep, exec.MaxRepetition)
+		}
+	}
+	var names []string
+	switch {
+	case atom == "":
+		return bad("no label atom")
+	case strings.HasPrefix(atom, "("):
+		if !strings.HasSuffix(atom, ")") {
+			return bad("unclosed group")
+		}
+		inner := atom[1 : len(atom)-1]
+		if strings.ContainsAny(inner, "()") {
+			return bad("nested group")
+		}
+		names = strings.Split(inner, "|")
+	case strings.ContainsAny(atom, "()"):
+		return bad("misplaced parenthesis")
+	case atom == "*":
+		e := exec.RPQElem{Labels: make([]int, gr.g.NumLabels()), MinRep: minRep, MaxRep: maxRep}
+		for l := range e.Labels {
+			e.Labels[l] = l
+		}
+		return e, nil
+	default:
+		names = strings.Split(atom, "|")
+	}
+	labels := make([]int, 0, len(names))
+	for _, name := range names {
+		if name == "" {
+			return bad("empty alternation branch")
+		}
+		l := gr.g.LabelByName(name)
+		if l < 0 {
+			return exec.RPQElem{}, fmt.Errorf("%w %q in pattern %q", ErrUnknownLabel, name, pattern)
+		}
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	labels = dedupSorted(labels)
+	return exec.RPQElem{Labels: labels, MinRep: minRep, MaxRep: maxRep}, nil
+}
+
+// parseCount parses a non-negative decimal repetition count (digits
+// only — no signs, no spaces, no empty string).
+func parseCount(s string) (int, bool) {
+	if s == "" || len(s) > 4 {
+		return 0, false
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, true
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// patternExpansions enumerates a pattern's concrete label paths,
+// bounded by maxPatternExpansions — the exact-oracle route, kept for
+// ground-truth evaluation; estimation and execution go through the
+// compiled DAG, whose cost scales with the expression, not the
+// expansion count.
+func (gr *Graph) patternExpansions(pattern string) ([]paths.Path, error) {
+	d, err := gr.compileRPQ(pattern)
+	if err != nil {
+		return nil, err
+	}
+	exps, ok := d.Expansions(maxPatternExpansions)
+	if !ok {
+		return nil, fmt.Errorf("%w: pattern %q expands to over %d paths",
+			ErrBadPattern, pattern, maxPatternExpansions)
+	}
+	return exps, nil
+}
+
+// Expr is a compiled query: the pattern parsed once into an expression
+// DAG and planned once against the estimator it was compiled by. It is
+// immutable and safe for concurrent use — compile a repeated query (or
+// a whole workload, via ExecuteExprBatch) once and execute the handle
+// many times; each execution replans against the current cache state
+// (warm segments steer plan choice) but never reparses. The string
+// entry points (ExecuteQuery, PlanQuery, EstimatePattern,
+// ExecuteBatch) are thin wrappers that compile per call.
+type Expr struct {
+	est     *Estimator
+	pattern string
+	dag     *exec.RPQDag
+	path    paths.Path // non-nil when the pattern is one concrete path
+	plan    QueryPlan  // compile-time plan (cold-cache view)
+	// estimate is the histogram estimate of the pattern's bag
+	// selectivity: the exact sum over expansions when enumerable within
+	// maxPatternExpansions, the DAG plan's independence-model estimate
+	// otherwise.
+	estimate   float64
+	enumerable bool
+}
+
+// Compile parses and plans a pattern into a reusable query handle. The
+// pattern's longest matchable path must fit Config.MaxPathLength (the
+// histogram's covered length); beyond it Compile fails with
+// ErrPathTooLong before anything is planned.
+func (e *Estimator) Compile(pattern string) (*Expr, error) {
+	dag, err := e.gr.compileRPQ(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if ml := dag.MaxLen(); ml > e.cfg.MaxPathLength {
+		return nil, fmt.Errorf("%w: pattern %q may match paths up to length %d, beyond %d",
+			ErrPathTooLong, pattern, ml, e.cfg.MaxPathLength)
+	}
+	x := &Expr{est: e, pattern: pattern, dag: dag}
+	if p, ok := dag.ConcretePath(); ok {
+		x.path = p
+		x.plan = e.planParsed(p, e.cache)
+		x.estimate = e.ph.Estimate(p)
+		x.enumerable = true
+		return x, nil
+	}
+	if exps, ok := dag.Expansions(maxPatternExpansions); ok {
+		x.enumerable = true
+		for _, p := range exps {
+			x.estimate += e.ph.Estimate(p)
+		}
+	}
+	dp := e.planner(e.cache).PlanDag(dag, e.gr.csr().NumVertices(), e.cfg.BushyPlans)
+	if !x.enumerable {
+		x.estimate = dp.ResultEst
+	}
+	x.plan = QueryPlan{Start: -1, Description: "rpq " + dp.Describe(), EstimatedCost: dp.Cost}
+	return x, nil
+}
+
+// Pattern returns the source pattern.
+func (x *Expr) Pattern() string { return x.pattern }
+
+// MinLen and MaxLen bound the concrete path lengths the pattern
+// matches.
+func (x *Expr) MinLen() int { return x.dag.MinLen() }
+
+// MaxLen is the longest concrete path length the pattern matches.
+func (x *Expr) MaxLen() int { return x.dag.MaxLen() }
+
+// Estimate returns the histogram estimate of the pattern's selectivity
+// under bag semantics: the exact expansion sum when the pattern
+// enumerates within maxPatternExpansions concrete paths, the compiled
+// DAG's independence-model estimate otherwise — so estimation cost
+// scales with the expression, never the expansion count.
+func (x *Expr) Estimate() float64 { return x.estimate }
+
+// Plan returns the compile-time plan: for a concrete path the usual
+// zig-zag/bushy choice with its per-start cost spread, for a true RPQ
+// the planned DAG fold. Executions replan against the live cache, so a
+// warm run may execute a cheaper plan than the one reported here.
+func (x *Expr) Plan() QueryPlan { return x.plan }
+
+// Execute runs the compiled query; it is ExecuteCtx with a background
+// context.
+func (x *Expr) Execute() (ExecStats, error) {
+	return x.ExecuteCtx(context.Background())
+}
+
+// ExecuteCtx executes the compiled query under ctx with the exact
+// semantics of Estimator.ExecuteQueryCtx — per-query deadline
+// (Config.QueryTimeout), cost-based admission, degradation, typed
+// sentinels — minus the parse: the result is the number of distinct
+// vertex pairs connected by a path matching the pattern (set
+// semantics; a concrete path degenerates to its selectivity).
+func (x *Expr) ExecuteCtx(ctx context.Context) (ExecStats, error) {
+	e := x.est
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		defer cancel()
+	}
+	canc, release := newQueryCanceller(ctx)
+	defer release()
+	return e.executeExpr(e.gr.csr(), x, e.cache, e.cfg.Workers, canc)
+}
+
+// executeExpr executes one compiled query against the given cache — the
+// shared core of Expr.ExecuteCtx and the batch executor, mirroring
+// executeParsed. Concrete paths take the existing plan machinery
+// unchanged; DAGs are replanned cache-aware per call and folded by
+// exec.ExecuteDagChecked.
+func (e *Estimator) executeExpr(g *graph.CSR, x *Expr, cache *relcache.Cache, workers int, canc *exec.Canceller) (ExecStats, error) {
+	if x.path != nil {
+		return e.executeParsed(g, x.path, cache, workers, canc)
+	}
+	dp := e.planner(cache).PlanDag(x.dag, g.NumVertices(), e.cfg.BushyPlans)
+	qp := QueryPlan{Start: -1, Description: "rpq " + dp.Describe(), EstimatedCost: dp.Cost}
+	if err := e.admit(qp, x.estimate); err != nil {
+		return e.degrade(qp, x.estimate, err)
+	}
+	opt := exec.Options{
+		DensityThreshold: e.cfg.DensityThreshold,
+		Workers:          workers,
+		Cache:            cache,
+		Cancel:           canc,
+		MaxResultBytes:   e.cfg.MaxResultBytes,
+		Pool:             e.pool,
+	}
+	rel, st, err := exec.ExecuteDagChecked(g, x.dag, dp, opt)
+	e.pool.Put(rel)
+	if err != nil {
+		return e.degrade(qp, x.estimate, translateExecErr(err))
+	}
+	return ExecStats{
+		Plan:          qp,
+		Intermediates: st.Intermediates,
+		Work:          st.Work,
+		Result:        st.Result,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		Sched:         st.Sched,
+	}, nil
+}

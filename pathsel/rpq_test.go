@@ -1,0 +1,312 @@
+package pathsel
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompileErrors pins the parser's rejection surface: every malformed
+// pattern fails with the right sentinel and a message naming the
+// offending segment.
+func TestCompileErrors(t *testing.T) {
+	g := batchTestGraph(t, 1, 20, 3, 60)
+	est, err := Build(g, Config{MaxPathLength: 3, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pattern string
+		want    error
+	}{
+		{"", ErrEmptyPath},
+		{"a//b", ErrBadPattern},   // empty segment
+		{"?", ErrBadPattern},      // quantifier without atom
+		{"{1,2}", ErrBadPattern},  // quantifier without atom
+		{"(|)", ErrBadPattern},    // empty alternation branches
+		{"(a|)", ErrBadPattern},   // trailing empty branch
+		{"(a", ErrBadPattern},     // unclosed group
+		{"a)", ErrBadPattern},     // misplaced parenthesis
+		{"((a))", ErrBadPattern},  // nested group
+		{"b{3,1}", ErrBadPattern}, // inverted bounds
+		{"b{0,0}", ErrBadPattern}, // zero repetitions
+		{"b{0}", ErrBadPattern},   // zero repetitions
+		{"b{}", ErrBadPattern},    // empty bounds
+		{"b{1,2,3}", ErrBadPattern},
+		{"b{x}", ErrBadPattern},
+		{"b{99999}", ErrBadPattern}, // count too long
+		{"b{65}", ErrBadPattern},    // beyond MaxRepetition
+		{"a}", ErrBadPattern},       // '}' without '{'
+		{"a?", ErrBadPattern},       // whole pattern may match the empty path
+		{"a?/b?", ErrBadPattern},
+		{"zzz", ErrUnknownLabel},
+		{"(a|zzz)", ErrUnknownLabel},
+		{"a/b/c/a", ErrPathTooLong},  // concrete, beyond MaxPathLength 3
+		{"a{1,4}", ErrPathTooLong},   // repetition reaches length 4
+		{"a?/b/c/a", ErrPathTooLong}, // optional still reaches length 4
+	}
+	for _, tc := range cases {
+		if _, err := est.Compile(tc.pattern); !errors.Is(err, tc.want) {
+			t.Errorf("Compile(%q): err=%v, want %v", tc.pattern, err, tc.want)
+		}
+	}
+	// Valid corners compile.
+	for _, p := range []string{"a", "*", "a|b", "(a|b)", "a?/b", "b{1,3}", "(a|c){2}/b?", "*{1,2}/a"} {
+		if _, err := est.Compile(p); err != nil {
+			t.Errorf("Compile(%q): unexpected error %v", p, err)
+		}
+	}
+}
+
+// randomRPQPattern draws a random pattern over the label vocabulary:
+// 1–3 segments mixing names, groups, wildcards, optionals, and bounded
+// repetitions, re-drawn until 1 ≤ MinLen and MaxLen ≤ maxLen.
+func randomRPQPattern(rng *rand.Rand, labels []string, maxLen int) string {
+	for {
+		var segs []string
+		minLen, maxTot := 0, 0
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			var atom string
+			switch rng.Intn(4) {
+			case 0:
+				atom = "*"
+			case 1:
+				a, b := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+				atom = "(" + a + "|" + b + ")"
+			default:
+				atom = labels[rng.Intn(len(labels))]
+			}
+			lo, hi := 1, 1
+			switch rng.Intn(4) {
+			case 0:
+				atom += "?"
+				lo = 0
+			case 1:
+				hi = 1 + rng.Intn(2)
+				lo = rng.Intn(hi) // may be 0
+				atom += "{" + string(rune('0'+lo)) + "," + string(rune('0'+hi)) + "}"
+			}
+			segs = append(segs, atom)
+			minLen += lo
+			maxTot += hi
+		}
+		if minLen >= 1 && maxTot <= maxLen {
+			return strings.Join(segs, "/")
+		}
+	}
+}
+
+// TestExprExecuteMatchesTrueSelectivity is the end-to-end property test:
+// a compiled RPQ's execution result equals the exact set-semantics
+// oracle (union of enumerated expansions) at every worker count, cold
+// and warm, linear and bushy. Run with -race in CI this also exercises
+// the shared-cache adoption path under concurrency.
+func TestExprExecuteMatchesTrueSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := batchTestGraph(t, 7, 40, 3, 260)
+	patterns := make([]string, 12)
+	for i := range patterns {
+		patterns[i] = randomRPQPattern(rng, g.Labels(), 4)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, bushy := range []bool{false, true} {
+			est, err := Build(g, Config{
+				MaxPathLength: 4, Buckets: 8,
+				Workers: workers, BushyPlans: bushy, CacheBytes: 1 << 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range patterns {
+				want, err := g.TruePatternSelectivity(p)
+				if err != nil {
+					t.Fatalf("oracle %q: %v", p, err)
+				}
+				x, err := est.Compile(p)
+				if err != nil {
+					t.Fatalf("Compile(%q): %v", p, err)
+				}
+				for pass := 0; pass < 2; pass++ { // cold then warm
+					st, err := x.Execute()
+					if err != nil {
+						t.Fatalf("Execute(%q) workers=%d bushy=%v pass=%d: %v", p, workers, bushy, pass, err)
+					}
+					if st.Result != want {
+						t.Fatalf("Execute(%q) workers=%d bushy=%v pass=%d: Result=%d, want %d",
+							p, workers, bushy, pass, st.Result, want)
+					}
+				}
+				// The string entry point answers identically.
+				st, err := est.ExecuteQuery(p)
+				if err != nil {
+					t.Fatalf("ExecuteQuery(%q): %v", p, err)
+				}
+				if st.Result != want {
+					t.Fatalf("ExecuteQuery(%q): Result=%d, want %d", p, st.Result, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteExprBatchMatchesExecute pins the parse-once batch: a batch
+// of compiled handles answers bit-identically to per-handle Execute and
+// to the string batch, at several worker counts.
+func TestExecuteExprBatchMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := batchTestGraph(t, 11, 30, 3, 200)
+	est, err := Build(g, Config{MaxPathLength: 4, Buckets: 8, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Query, 16)
+	xs := make([]*Expr, len(queries))
+	want := make([]int64, len(queries))
+	for i := range queries {
+		p := randomRPQPattern(rng, g.Labels(), 4)
+		queries[i] = Query(p)
+		x, err := est.Compile(p)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", p, err)
+		}
+		xs[i] = x
+		if want[i], err = g.TruePatternSelectivity(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		br, err := est.ExecuteExprBatch(xs, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := est.ExecuteBatch(queries, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if br.Results[i].Err != nil || sr.Results[i].Err != nil {
+				t.Fatalf("query %d: errs %v / %v", i, br.Results[i].Err, sr.Results[i].Err)
+			}
+			if br.Results[i].Result != want[i] {
+				t.Fatalf("expr batch workers=%d query %q: Result=%d, want %d",
+					workers, queries[i], br.Results[i].Result, want[i])
+			}
+			if sr.Results[i].Result != want[i] {
+				t.Fatalf("string batch workers=%d query %q: Result=%d, want %d",
+					workers, queries[i], sr.Results[i].Result, want[i])
+			}
+			if br.Results[i].Query != queries[i] {
+				t.Fatalf("expr batch query %d echoes %q, want %q", i, br.Results[i].Query, queries[i])
+			}
+		}
+	}
+}
+
+// TestExecuteExprBatchValidation pins the fail-fast checks on compiled
+// batches: nil handles and handles compiled by a different estimator are
+// rejected upfront, naming the offending index.
+func TestExecuteExprBatchValidation(t *testing.T) {
+	g := batchTestGraph(t, 3, 20, 3, 80)
+	est, err := Build(g, Config{MaxPathLength: 3, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build(g, Config{MaxPathLength: 3, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := est.Compile("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := other.Compile("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.ExecuteExprBatch([]*Expr{x, nil}, BatchOptions{}); !errors.Is(err, ErrBadPattern) || !strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("nil handle: err=%v, want ErrBadPattern naming query 1", err)
+	}
+	if _, err := est.ExecuteExprBatch([]*Expr{foreign}, BatchOptions{}); !errors.Is(err, ErrBadPattern) || !strings.Contains(err.Error(), "different estimator") {
+		t.Fatalf("foreign handle: err=%v, want ErrBadPattern (different estimator)", err)
+	}
+}
+
+// TestCompileEstimateMatchesEstimatePattern pins that the compiled
+// handle's Estimate is exactly what the string entry point reports, and
+// that enumerable patterns get the expansion-sum (bag-semantics)
+// estimate: the sum of Estimate over the pattern's concrete paths.
+// (Exactness under a singleton-bucket budget is pinned separately by
+// TestEstimatePatternExactBudget.)
+func TestCompileEstimateMatchesEstimatePattern(t *testing.T) {
+	g := batchTestGraph(t, 5, 25, 3, 120)
+	est, err := Build(g, Config{MaxPathLength: 3, Buckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		pattern    string
+		expansions []string
+	}{
+		{"a", []string{"a"}},
+		{"a/(b|c)", []string{"a/b", "a/c"}},
+		{"a?/b", []string{"b", "a/b"}},
+		{"b{1,3}", []string{"b", "b/b", "b/b/b"}},
+		{"*/a", []string{"a/a", "b/a", "c/a"}},
+	} {
+		x, err := est.Compile(tc.pattern)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.pattern, err)
+		}
+		got, err := est.EstimatePattern(tc.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != x.Estimate() {
+			t.Fatalf("EstimatePattern(%q)=%f != Expr.Estimate()=%f", tc.pattern, got, x.Estimate())
+		}
+		var want float64
+		for _, q := range tc.expansions {
+			e, err := est.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += e
+		}
+		if got != want {
+			t.Fatalf("EstimatePattern(%q)=%f, want expansion sum %f", tc.pattern, got, want)
+		}
+	}
+}
+
+// FuzzRPQParse fuzzes the pattern grammar: Compile must never panic, and
+// any pattern it accepts must expose coherent bounds, a plan, and a
+// finite estimate.
+func FuzzRPQParse(f *testing.F) {
+	g := batchTestGraph(f, 13, 20, 3, 80)
+	est, err := Build(g, Config{MaxPathLength: 4, Buckets: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range []string{
+		"a", "a/b/c", "a/(b|c)/a?/b{1,3}", "*", "a|b", "(|)", "b{3,1}",
+		"((a))", "(a", "a)", "a?", "{0,0}", "a//b", "b{65}", "a}b{",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		x, err := est.Compile(pattern)
+		if err != nil {
+			return
+		}
+		if x.MinLen() < 1 || x.MaxLen() < x.MinLen() || x.MaxLen() > 4 {
+			t.Fatalf("Compile(%q): bounds [%d,%d] out of range", pattern, x.MinLen(), x.MaxLen())
+		}
+		if x.Estimate() < 0 {
+			t.Fatalf("Compile(%q): negative estimate %f", pattern, x.Estimate())
+		}
+		if x.Plan().Description == "" {
+			t.Fatalf("Compile(%q): empty plan description", pattern)
+		}
+	})
+}
