@@ -66,12 +66,15 @@ const cacheNoiseMult = 10
 // isWorkloadRow recognizes the whole-workload-pass rows: the cache
 // section (BENCH_cache.json), the serving section (BENCH_serve.json),
 // the cross-layer scaling ladders (BENCH_scaling.json), whose batch
-// and serve rungs time the same kind of whole passes, and the RPQ
+// and serve rungs time the same kind of whole passes, the RPQ
 // section (BENCH_rpq.json), whose cold/warm rows time compiled-workload
-// passes of the same shape.
+// passes of the same shape, and the overload section
+// (BENCH_overload.json), whose controlled/uncontrolled goodput ratios
+// divide two whole overdriven passes.
 func isWorkloadRow(name string) bool {
 	return strings.HasPrefix(name, "cache/") || strings.HasPrefix(name, "serve/") ||
-		strings.HasPrefix(name, "scaling/") || strings.HasPrefix(name, "rpq/")
+		strings.HasPrefix(name, "scaling/") || strings.HasPrefix(name, "rpq/") ||
+		strings.HasPrefix(name, "overload/")
 }
 
 // caseKey identifies one comparable measurement across reports.

@@ -50,6 +50,7 @@ func main() {
 	benchServeJSON := flag.String("bench-serve-json", "", "run only the serving-layer load bench (cold vs warm Zipf passes over HTTP) and write a BENCH JSON report to this file, then exit")
 	benchScalingJSON := flag.String("bench-scaling-json", "", "run the cross-layer worker-scaling bench (exec, batch cache, serving ladders at workers 1/2/4) and write a BENCH JSON report to this file, then exit")
 	benchRPQJSON := flag.String("bench-rpq-json", "", "run only the regular-path-query bench (cold vs warm compiled workload, estimate quality vs the enumerated oracle) and write a BENCH JSON report to this file, then exit")
+	benchOverloadJSON := flag.String("bench-overload-json", "", "run only the overload-resilience bench (controlled vs uncontrolled bursty overdrive legs) and write a BENCH JSON report to this file, then exit")
 	benchIters := flag.Int("bench-iters", 3, "iterations per perf-bench measurement")
 	// Default 0, not a captured GOMAXPROCS: the count resolves through
 	// sched.WorkerCount when the bench runs, so a GOMAXPROCS change after
@@ -108,6 +109,9 @@ func main() {
 		{*benchRPQJSON, func() (*experiments.PerfReport, error) {
 			return experiments.RunRPQBench(*scale, *benchIters, *workers)
 		}},
+		{*benchOverloadJSON, func() (*experiments.PerfReport, error) {
+			return experiments.RunOverloadBench(*scale, *benchIters)
+		}},
 	} {
 		if b.path == "" {
 			continue
@@ -131,7 +135,7 @@ func main() {
 	}
 	if *benchJSON != "" || *benchExecJSON != "" || *benchParExecJSON != "" ||
 		*benchBushyJSON != "" || *benchCacheJSON != "" || *benchServeJSON != "" ||
-		*benchScalingJSON != "" || *benchRPQJSON != "" {
+		*benchScalingJSON != "" || *benchRPQJSON != "" || *benchOverloadJSON != "" {
 		return
 	}
 

@@ -5,7 +5,12 @@
 // cache across every concurrent request. The estimator's resource
 // policy is exposed as flags: -timeout bounds each request, -max-cost
 // and -max-result-bytes gate admission, and -degrade turns kills into
-// degraded 200s carrying the histogram estimate.
+// degraded 200s carrying the histogram estimate. -max-inflight enables
+// the overload controller (adaptive concurrency limit, bounded
+// admission queue with predictive shedding, 429 + Retry-After), tuned
+// by -min-inflight, -latency-target, -queue, and -queue-timeout;
+// -brownout additionally degrades expensive queries to estimates under
+// sustained pressure.
 //
 // Usage:
 //
@@ -29,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 	"repro/pathsel"
 )
@@ -54,6 +60,16 @@ type options struct {
 	maxCost        float64
 	maxResultBytes int64
 	degrade        bool
+
+	maxInFlight   int
+	minInFlight   int
+	latencyTarget time.Duration
+	queueLimit    int
+	queueTimeout  time.Duration
+	brownout      bool
+
+	faultStepDelay  time.Duration
+	faultStepJitter time.Duration
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -74,11 +90,22 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.maxCost, "max-cost", 0, "admission bound on estimated plan cost (0 = none)")
 	fs.Int64Var(&o.maxResultBytes, "max-result-bytes", 0, "budget on any materialized relation (0 = none)")
 	fs.BoolVar(&o.degrade, "degrade", false, "answer resource kills with the histogram estimate instead of an error")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "overload controller: concurrent execution slots (0 disables the controller)")
+	fs.IntVar(&o.minInFlight, "min-inflight", 0, "overload controller: adaptive limit floor (0 = 1)")
+	fs.DurationVar(&o.latencyTarget, "latency-target", 0, "overload controller: service-time target the in-flight limit adapts toward (0 pins the limit at -max-inflight)")
+	fs.IntVar(&o.queueLimit, "queue", 0, "overload controller: admission queue bound (0 = 4x -max-inflight)")
+	fs.DurationVar(&o.queueTimeout, "queue-timeout", 0, "overload controller: longest queued wait before predictive shedding (0 = 100ms)")
+	fs.BoolVar(&o.brownout, "brownout", false, "overload controller: degrade expensive queries to estimates under sustained pressure")
+	fs.DurationVar(&o.faultStepDelay, "fault-step-delay", 0, "testing: inject this blocking delay into every join step (models a slow backend for overload drills; 0 = off)")
+	fs.DurationVar(&o.faultStepJitter, "fault-step-jitter", 0, "testing: deterministic jitter added to -fault-step-delay")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if (o.graph == "") == (o.dataset == "") {
 		return nil, fmt.Errorf("exactly one of -graph or -dataset is required")
+	}
+	if o.maxInFlight <= 0 && (o.minInFlight > 0 || o.latencyTarget > 0 || o.queueLimit > 0 || o.queueTimeout > 0 || o.brownout) {
+		return nil, fmt.Errorf("overload flags need the controller enabled: set -max-inflight > 0")
 	}
 	return o, nil
 }
@@ -119,11 +146,30 @@ func buildServer(o *options) (*serve.Server, *pathsel.Graph, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return serve.New(est), g, nil
+	var opt serve.Options
+	if o.maxInFlight > 0 {
+		opt.Overload = &serve.OverloadConfig{
+			MaxInFlight:   o.maxInFlight,
+			MinInFlight:   o.minInFlight,
+			LatencyTarget: o.latencyTarget,
+			QueueLimit:    o.queueLimit,
+			QueueTimeout:  o.queueTimeout,
+			Brownout:      o.brownout,
+		}
+	}
+	return serve.NewWithOptions(est, opt), g, nil
 }
 
 func run(o *options) error {
 	start := time.Now()
+	if o.faultStepDelay > 0 {
+		faultinject.Install(faultinject.NewInjector(faultinject.Rule{
+			Site: "exec.step", Action: faultinject.ActDelay,
+			Delay: o.faultStepDelay, Jitter: o.faultStepJitter,
+		}))
+		defer faultinject.Uninstall()
+		fmt.Printf("pathserve: fault injection armed: exec.step delay %v jitter %v\n", o.faultStepDelay, o.faultStepJitter)
+	}
 	srv, g, err := buildServer(o)
 	if err != nil {
 		return err
@@ -143,14 +189,15 @@ func run(o *options) error {
 		return err
 	case sig := <-sigc:
 		fmt.Printf("pathserve: %v — draining\n", sig)
+		srv.StartDrain() // new arrivals get 503 + Retry-After while in-flight work finishes
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			return err
 		}
 		c := srv.Counters()
-		fmt.Printf("pathserve: served %d requests (%d ok, %d degraded, %d rejected, %d timeout, %d failed)\n",
-			c.Requests, c.OK, c.Degraded, c.Rejected, c.Timeout, c.Failed)
+		fmt.Printf("pathserve: served %d requests (%d ok, %d degraded, %d rejected, %d shed, %d brownout-degraded, %d timeout, %d failed)\n",
+			c.Requests, c.OK, c.Degraded, c.Rejected, c.Shed, c.BrownoutDegraded, c.Timeout, c.Failed)
 		return nil
 	}
 }

@@ -10,6 +10,9 @@
 //
 //	serveload -url http://127.0.0.1:8080 -n 2000 -concurrency 8            # saturation (capacity)
 //	serveload -url http://127.0.0.1:8080 -n 2000 -rate 500 -zipf-s 1.2     # open loop at 500 qps
+//	serveload ... -rate 500 -arrival onoff -burst-on 50ms -burst-off 150ms # bursty ON/OFF arrivals
+//	serveload ... -rate 500 -arrival gamma -gamma-shape 0.3                # clumped Gamma arrivals
+//	serveload ... -retries 2 -retry-base 5ms                               # retry sheds, honoring Retry-After
 //	serveload ... -rpq                                                     # RPQ-pattern pool against /query?pattern=
 //	serveload ... -batch 16                                                # group arrivals into POST /batch requests
 //	serveload ... -json report.json                                        # machine-readable report
@@ -17,11 +20,17 @@
 // Rate 0 replays the whole trace as fast as the concurrency allows
 // (capacity mode — read the service latencies); a positive rate holds
 // the arrival process fixed regardless of server speed (open loop —
-// read the sojourn latencies, which charge queue wait). -rpq swaps the
-// concrete-path pool for regular path patterns (alternation, optionals,
-// bounded repetition); -batch N issues the trace as POST /batch
-// requests of N consecutive arrivals, exercising the server's
-// parse-once batch executor.
+// read the sojourn latencies, which charge queue wait). -arrival picks
+// the arrival process at that rate: exp (Poisson, the default), onoff
+// (bursts at the elevated in-window rate separated by silent windows),
+// or gamma (clumped inter-arrival gaps; shape < 1 burstier than
+// Poisson). -retries re-issues overload-shed answers (429 +
+// Retry-After) with capped jittered exponential backoff that honors
+// the server's hint; retry wait is charged to the original arrival's
+// sojourn. -rpq swaps the concrete-path pool for regular path patterns
+// (alternation, optionals, bounded repetition); -batch N issues the
+// trace as POST /batch requests of N consecutive arrivals, exercising
+// the server's parse-once batch executor.
 package main
 
 import (
@@ -46,12 +55,20 @@ func main() {
 	zipfS := flag.Float64("zipf-s", workload.DefaultZipfS, "Zipf skew exponent (> 1)")
 	zipfV := flag.Float64("zipf-v", workload.DefaultZipfV, "Zipf offset (>= 1)")
 	seed := flag.Int64("seed", 1, "trace seed")
+	arrival := flag.String("arrival", "", "arrival process at -rate: exp (default), onoff, or gamma")
+	burstOn := flag.Duration("burst-on", 0, "onoff arrivals: ON window length (0 = default)")
+	burstOff := flag.Duration("burst-off", 0, "onoff arrivals: OFF window length (0 = default)")
+	gammaShape := flag.Float64("gamma-shape", 0, "gamma arrivals: shape parameter, < 1 clumps (0 = default)")
+	retries := flag.Int("retries", 0, "re-issue overload-shed answers up to this many times per arrival")
+	retryBase := flag.Duration("retry-base", 0, "retry backoff base, doubled per attempt with jitter (0 = default)")
 	rpq := flag.Bool("rpq", false, "draw the pool from RPQ patterns (alternation, ?, {m,n}) instead of concrete paths")
 	batch := flag.Int("batch", 0, "group this many consecutive arrivals into one POST /batch request (0 = per-query GETs)")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	flag.Parse()
 
-	if err := run(*url, *n, *rate, *concurrency, *poolSize, *maxLen, *zipfS, *zipfV, *seed, *rpq, *batch, *jsonOut); err != nil {
+	retry := serve.RetryPolicy{Max: *retries, Base: *retryBase, Seed: *seed}
+	if err := run(*url, *n, *rate, *concurrency, *poolSize, *maxLen, *zipfS, *zipfV, *seed,
+		*arrival, *burstOn, *burstOff, *gammaShape, retry, *rpq, *batch, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
@@ -77,7 +94,8 @@ func fetchStats(baseURL string) (*serve.StatsResponse, error) {
 	return &st, nil
 }
 
-func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int, zipfS, zipfV float64, seed int64, rpq bool, batch int, jsonOut string) error {
+func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int, zipfS, zipfV float64, seed int64,
+	arrival string, burstOn, burstOff time.Duration, gammaShape float64, retry serve.RetryPolicy, rpq bool, batch int, jsonOut string) error {
 	st, err := fetchStats(baseURL)
 	if err != nil {
 		return err
@@ -85,7 +103,10 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 	if maxLen <= 0 || maxLen > st.MaxPathLength {
 		maxLen = st.MaxPathLength
 	}
-	opts := workload.TraceOptions{S: zipfS, V: zipfV, Rate: rate, N: n, Seed: seed}
+	opts := workload.TraceOptions{
+		S: zipfS, V: zipfV, Rate: rate, N: n, Seed: seed,
+		Arrival: arrival, OnDur: burstOn, OffDur: burstOff, GammaShape: gammaShape,
+	}
 	var trace []serve.TimedQuery
 	var poolLen int
 	if rpq {
@@ -120,6 +141,9 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 	mode := "saturation"
 	if rate > 0 {
 		mode = fmt.Sprintf("open loop @ %g qps", rate)
+		if arrival != "" && arrival != workload.ArrivalExp {
+			mode += " (" + arrival + ")"
+		}
 	}
 	kind := "path"
 	if rpq {
@@ -132,7 +156,7 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 	fmt.Printf("serveload: %d requests over %d distinct %s queries (zipf s=%g), %s, concurrency %d, %s\n",
 		len(trace), poolLen, kind, zipfS, mode, concurrency, transport)
 
-	rep, err := serve.RunLoad(baseURL, trace, serve.LoadOptions{Concurrency: concurrency, Batch: batch})
+	rep, err := serve.RunLoad(baseURL, trace, serve.LoadOptions{Concurrency: concurrency, Batch: batch, Retry: retry})
 	if err != nil {
 		return err
 	}
@@ -156,8 +180,10 @@ func run(baseURL string, n int, rate float64, concurrency, poolSize, maxLen int,
 }
 
 func printReport(rep *serve.LoadReport, rate float64) {
-	fmt.Printf("  outcomes: %d ok, %d degraded, %d rejected, %d overload, %d timeout, %d failed, %d bad, %d transport errors\n",
-		rep.OK, rep.Degraded, rep.Rejected, rep.Overload, rep.Timeout, rep.Failed, rep.BadRequest, rep.TransportErrors)
+	fmt.Printf("  outcomes: %d ok, %d degraded, %d rejected, %d shed, %d overload, %d timeout, %d failed, %d bad, %d transport errors\n",
+		rep.OK, rep.Degraded, rep.Rejected, rep.Shed, rep.Overload, rep.Timeout, rep.Failed, rep.BadRequest, rep.TransportErrors)
+	fmt.Printf("  overload: %d shed (final), %d retries, %d brownout-degraded\n",
+		rep.Shed, rep.Retries, rep.DegradedBrownout)
 	if rep.Batches > 0 {
 		fmt.Printf("  batches: %d issued\n", rep.Batches)
 	}
@@ -174,5 +200,6 @@ func printReport(rep *serve.LoadReport, rate float64) {
 	lat("service", rep.Service)
 	if rate > 0 {
 		lat("sojourn", rep.Sojourn)
+		lat("sojourn-accepted", rep.SojournAccepted)
 	}
 }

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunOverloadBenchSchema runs the overload bench at a tiny scale and
+// pins the report structure the committed BENCH_overload.json and
+// cmd/benchdiff's gate consume: per overdrive multiple an uncontrolled
+// baseline row (no ratio, nothing shed or degraded — there is no
+// controller) and a controlled row whose speedup_vs_baseline is the
+// goodput ratio and whose overload columns show the controller and the
+// retrying client actually working.
+func TestRunOverloadBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf bench measurement in -short mode")
+	}
+	rep, err := RunOverloadBench(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	byName := map[string]PerfResult{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.QPS <= 0 || r.GoodputQPS <= 0 {
+			t.Fatalf("overload row without pass timing or throughput: %+v", r)
+		}
+		if r.P50Ns <= 0 || r.P50Ns > r.P95Ns || r.P95Ns > r.P99Ns {
+			t.Fatalf("accepted-sojourn percentiles missing or out of order: %+v", r)
+		}
+		if r.Workers != 1 {
+			t.Fatalf("overload rows must record workers 1 for cross-host gating: %+v", r)
+		}
+		byName[r.Name] = r
+	}
+	if len(byName) != len(rep.Results) {
+		t.Fatalf("duplicate row names in %d results", len(rep.Results))
+	}
+	controllerWorked := false
+	for _, mult := range overloadMultiples {
+		unc, ok := byName[fmt.Sprintf("overload/uncontrolled-%dx", mult)]
+		if !ok {
+			t.Fatalf("missing uncontrolled %dx row", mult)
+		}
+		if unc.Speedup != 0 || unc.Shed != 0 || unc.Retries != 0 || unc.Degraded != 0 {
+			t.Fatalf("uncontrolled row is the baseline and has no controller: %+v", unc)
+		}
+		ctl, ok := byName[fmt.Sprintf("overload/controlled-%dx", mult)]
+		if !ok {
+			t.Fatalf("missing controlled %dx row", mult)
+		}
+		if ctl.Speedup <= 0 {
+			t.Fatalf("controlled row missing its goodput ratio: %+v", ctl)
+		}
+		if ctl.Shed > 0 || ctl.Retries > 0 || ctl.Degraded > 0 {
+			controllerWorked = true
+		}
+	}
+	if !controllerWorked {
+		t.Fatal("no controlled row shows any shed, retry, or degraded work — the bench exercised nothing")
+	}
+}

@@ -62,6 +62,17 @@ type PerfResult struct {
 	CacheHits   int64   `json:"cache_hits,omitempty"`
 	CacheMisses int64   `json:"cache_misses,omitempty"`
 	QError      float64 `json:"q_error,omitempty"`
+
+	// Overload-bench columns (overload/* rows), additive and omitempty:
+	// how one load pass under an overdriven arrival process resolved.
+	// GoodputQPS counts only answered (OK + degraded) arrivals per second
+	// — the figure the controlled rows' speedup_vs_baseline is the ratio
+	// of; Shed, Retries, and Degraded are the controller's and the
+	// retrying client's visible work.
+	GoodputQPS float64 `json:"goodput_qps,omitempty"`
+	Shed       int64   `json:"shed,omitempty"`
+	Retries    int64   `json:"retries,omitempty"`
+	Degraded   int64   `json:"degraded,omitempty"`
 }
 
 // PerfReport is the committed BENCH_*.json artifact: a snapshot of the

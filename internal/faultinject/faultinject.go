@@ -28,9 +28,11 @@
 //	exec.step       before each compose/join step     (Fire)
 //	exec.shard      inside each sharded kernel task   (Fire)
 //	relcache.put    before cloning a cache entry      (Fail)
+//	serve.admit     before overload admission control (Fire)
 package faultinject
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +70,12 @@ type Rule struct {
 	PanicValue any
 	// Delay is the sleep duration of a Delay action.
 	Delay time.Duration
+	// Jitter widens a Delay action: each triggered visit sleeps Delay
+	// plus a uniform random extra in [0, Jitter), drawn from the
+	// injector's own seeded source so a chaos run stays reproducible.
+	// Jittered delays model the realistic overload pattern — service
+	// times that vary visit to visit instead of stalling uniformly.
+	Jitter time.Duration
 }
 
 // ruleState is one armed rule plus its visit counters.
@@ -84,12 +92,17 @@ type Injector struct {
 	mu     sync.Mutex
 	rules  map[string][]*ruleState
 	visits map[string]int
+	rng    *rand.Rand // jitter source; fixed seed keeps chaos runs reproducible
 }
 
 // NewInjector returns an empty injector; arm it with Add and activate it
 // with Install.
 func NewInjector(rules ...Rule) *Injector {
-	inj := &Injector{rules: map[string][]*ruleState{}, visits: map[string]int{}}
+	inj := &Injector{
+		rules:  map[string][]*ruleState{},
+		visits: map[string]int{},
+		rng:    rand.New(rand.NewSource(1)),
+	}
 	for _, r := range rules {
 		inj.Add(r)
 	}
@@ -123,10 +136,11 @@ func (inj *Injector) Triggered(site string) int {
 	return n
 }
 
-// visit records one visit and returns the rule to trigger, if any. The
+// visit records one visit and returns the rule to trigger, if any, plus
+// the visit's jitter draw (the rng lives under the lock). The
 // panic/sleep itself happens outside the lock so a delayed or panicking
 // site never blocks other sites.
-func (inj *Injector) visit(site string, want Action) *Rule {
+func (inj *Injector) visit(site string, want Action) (*Rule, time.Duration) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	inj.visits[site]++
@@ -143,9 +157,13 @@ func (inj *Injector) visit(site string, want Action) *Rule {
 			continue
 		}
 		rs.triggered++
-		return &rs.Rule
+		var jitter time.Duration
+		if rs.Action == ActDelay && rs.Jitter > 0 {
+			jitter = time.Duration(inj.rng.Int63n(int64(rs.Jitter)))
+		}
+		return &rs.Rule, jitter
 	}
-	return nil
+	return nil, 0
 }
 
 // active is the process-wide installed injector; nil in production.
@@ -169,13 +187,13 @@ func Fire(site string) {
 	if inj == nil {
 		return
 	}
-	r := inj.visit(site, ActPanic)
+	r, jitter := inj.visit(site, ActPanic)
 	if r == nil {
 		return
 	}
 	switch r.Action {
 	case ActDelay:
-		time.Sleep(r.Delay)
+		time.Sleep(r.Delay + jitter)
 	case ActPanic:
 		v := r.PanicValue
 		if v == nil {
@@ -193,5 +211,6 @@ func Fail(site string) bool {
 	if inj == nil {
 		return false
 	}
-	return inj.visit(site, ActFail) != nil
+	r, _ := inj.visit(site, ActFail)
+	return r != nil
 }

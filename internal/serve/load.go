@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -75,6 +76,63 @@ type LoadOptions struct {
 	Batch int
 	// Client issues the requests (nil selects http.DefaultClient).
 	Client *http.Client
+	// Retry re-issues shed requests with capped jittered exponential
+	// backoff, honoring the server's Retry-After hint (per-query mode
+	// only; batch requests are never retried). Retries run on the
+	// worker that owns the arrival, so the time they take is charged to
+	// the original arrival's sojourn — the open-loop methodology stays
+	// honest about what a retrying client actually experiences.
+	Retry RetryPolicy
+}
+
+// RetryPolicy tunes the load client's handling of retryable answers —
+// any response carrying a retry_after_ms hint (overload sheds, drain
+// refusals).
+type RetryPolicy struct {
+	// Max is how many times one arrival may be re-issued (0 disables
+	// retrying).
+	Max int
+	// Base seeds the exponential backoff: before re-issue n the client
+	// waits max(server hint, Base·2^(n−1)) plus up to 50% jitter (≤ 0
+	// selects 5ms).
+	Base time.Duration
+	// Cap bounds any single wait (≤ 0 selects 500ms).
+	Cap time.Duration
+	// Seed makes the jitter deterministic (each worker derives its own
+	// stream from it).
+	Seed int64
+}
+
+// Retry wait defaults.
+const (
+	defaultRetryBase = 5 * time.Millisecond
+	defaultRetryCap  = 500 * time.Millisecond
+)
+
+// retryWait computes the wait before re-issue n (1-based): the larger
+// of the server's hint and the exponential backoff, jittered up to
+// +50%, capped.
+func retryWait(rng *rand.Rand, pol RetryPolicy, attempt int, hintMs int64) time.Duration {
+	base, ceil := pol.Base, pol.Cap
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	if ceil <= 0 {
+		ceil = defaultRetryCap
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20 // past the cap regardless; avoid overflow
+	}
+	wait := base << shift
+	if hint := time.Duration(hintMs) * time.Millisecond; hint > wait {
+		wait = hint
+	}
+	wait += time.Duration(rng.Int63n(int64(wait)/2 + 1))
+	if wait > ceil {
+		wait = ceil
+	}
+	return wait
 }
 
 // LatencySummary is a latency distribution in nanoseconds.
@@ -98,6 +156,19 @@ type LoadReport struct {
 	Overload   int64 `json:"overload"`
 	Timeout    int64 `json:"timeout"`
 	Failed     int64 `json:"failed"`
+	// Shed counts arrivals whose final answer was an overload shed (429
+	// + code "overloaded" + Retry-After) — kept apart from Rejected,
+	// the per-query cost gate, because sheds say "the server was busy"
+	// while rejections say "the query was expensive".
+	Shed int64 `json:"shed"`
+	// DegradedBrownout counts the subset of Degraded answered with
+	// degraded_by == "brownout" — load-driven estimates rather than the
+	// query's own resource policy.
+	DegradedBrownout int64 `json:"degraded_brownout"`
+	// Retries counts re-issues (an arrival retried twice adds 2); each
+	// arrival still lands in exactly one outcome counter above, for its
+	// final answer.
+	Retries int64 `json:"retries"`
 	// TransportErrors counts requests that never produced an HTTP
 	// response (connection refused, client-side timeout).
 	TransportErrors int64 `json:"transport_errors"`
@@ -120,9 +191,16 @@ type LoadReport struct {
 	// Sojourn additionally charges each arrival its queue wait (scheduled
 	// arrival → response). In saturation mode (a trace with all arrivals
 	// at 0) sojourn mostly measures the harness's own backlog — capacity
-	// runs read Service, open-loop runs read Sojourn.
+	// runs read Service, open-loop runs read Sojourn. With retries
+	// enabled, Service spans first issue → final response and Sojourn
+	// charges every backoff wait to the original arrival.
 	Service LatencySummary `json:"service"`
 	Sojourn LatencySummary `json:"sojourn"`
+	// SojournAccepted is the sojourn distribution of answered (2xx)
+	// arrivals only — the population an overload controller promises a
+	// bounded experience to; shed and failed arrivals are excluded here
+	// and visible in the counters instead.
+	SojournAccepted LatencySummary `json:"sojourn_accepted"`
 }
 
 // HitRate returns CacheHits / (CacheHits + CacheMisses), or 0.
@@ -192,23 +270,29 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 	rep := &LoadReport{Queries: len(trace)}
 	service := make([]int64, 0, len(trace))
 	sojourn := make([]int64, 0, len(trace))
+	sojournAccepted := make([]int64, 0, len(trace))
 
-	// count attributes one query outcome to its counter (mu held).
-	count := func(status int, degraded bool) {
-		switch status {
-		case http.StatusOK:
-			if degraded {
-				rep.Degraded++
-			} else {
-				rep.OK++
+	// count attributes one query's final outcome to its counter (mu
+	// held). The wire code splits the 429s: "overloaded" is a shed,
+	// anything else the per-query cost rejection.
+	count := func(out queryOutcome) {
+		switch {
+		case out.status == http.StatusOK && out.degraded:
+			rep.Degraded++
+			if out.degradedBy == CodeBrownout {
+				rep.DegradedBrownout++
 			}
-		case http.StatusBadRequest:
+		case out.status == http.StatusOK:
+			rep.OK++
+		case out.status == http.StatusBadRequest:
 			rep.BadRequest++
-		case http.StatusTooManyRequests:
+		case out.status == http.StatusTooManyRequests && out.code == CodeOverloaded:
+			rep.Shed++
+		case out.status == http.StatusTooManyRequests:
 			rep.Rejected++
-		case http.StatusGatewayTimeout:
+		case out.status == http.StatusGatewayTimeout:
 			rep.Timeout++
-		case http.StatusInternalServerError:
+		case out.status == http.StatusInternalServerError:
 			rep.Failed++
 		default:
 			rep.Overload++
@@ -226,6 +310,7 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		rng := rand.New(rand.NewSource(opt.Retry.Seed + int64(w)*0x9e3779b9 + 1))
 		go func() {
 			defer wg.Done()
 			for lo := range jobs {
@@ -236,14 +321,27 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 				issued := time.Now()
 				if step == 1 {
 					tq := trace[lo]
-					st, hits, misses, transportErr := doQuery(client, baseURL, tq.Query)
+					// Issue, then re-issue while the server hints a retry
+					// wait (overload sheds, drain refusals) and the budget
+					// lasts. The worker stays occupied through the backoff,
+					// so the retries' cost lands where it belongs: on this
+					// arrival's sojourn and on the harness's capacity to
+					// absorb the next arrivals.
+					out, hits, misses, transportErr := doQuery(client, baseURL, tq.Query)
+					for attempt := 1; attempt <= opt.Retry.Max && !transportErr && out.retryAfterMs > 0; attempt++ {
+						time.Sleep(retryWait(rng, opt.Retry, attempt, out.retryAfterMs))
+						mu.Lock()
+						rep.Retries++
+						mu.Unlock()
+						out, hits, misses, transportErr = doQuery(client, baseURL, tq.Query)
+					}
 					done := time.Now()
 					mu.Lock()
 					if transportErr {
 						rep.TransportErrors++
 					} else {
-						count(st.status, st.degraded)
-						if st.status == http.StatusOK {
+						count(out)
+						if out.status == http.StatusOK {
 							rep.CacheHits += int64(hits)
 							rep.CacheMisses += int64(misses)
 						}
@@ -254,6 +352,9 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 						soj = 0
 					}
 					sojourn = append(sojourn, soj)
+					if !transportErr && out.status == http.StatusOK {
+						sojournAccepted = append(sojournAccepted, soj)
+					}
 					mu.Unlock()
 					continue
 				}
@@ -261,26 +362,29 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 				for i := lo; i < hi; i++ {
 					qs[i-lo] = trace[i].Query
 				}
-				items, status, transportErr := doBatch(client, baseURL, qs)
+				items, status, code, transportErr := doBatch(client, baseURL, qs)
 				done := time.Now()
 				mu.Lock()
 				rep.Batches++
 				for i := lo; i < hi; i++ {
+					accepted := false
 					switch {
 					case transportErr:
 						rep.TransportErrors++
 					case status != http.StatusOK || i-lo >= len(items):
 						// A whole-batch rejection (e.g. a 400 naming one
-						// bad query) charges every member.
-						count(status, false)
+						// bad query, or a shed of the whole batch) charges
+						// every member.
+						count(queryOutcome{status: status, code: code})
 					default:
 						it := items[i-lo]
 						if it.Error != "" {
-							count(codeStatus(it.Code), false)
+							count(queryOutcome{status: codeStatus(it.Code), code: it.Code})
 						} else {
-							count(http.StatusOK, it.Degraded)
+							count(queryOutcome{status: http.StatusOK, degraded: it.Degraded, degradedBy: it.DegradedBy})
 							rep.CacheHits += int64(it.CacheHits)
 							rep.CacheMisses += int64(it.CacheMisses)
+							accepted = true
 						}
 					}
 					service = append(service, done.Sub(issued).Nanoseconds())
@@ -289,6 +393,9 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 						soj = 0
 					}
 					sojourn = append(sojourn, soj)
+					if accepted {
+						sojournAccepted = append(sojournAccepted, soj)
+					}
 				}
 				mu.Unlock()
 			}
@@ -313,6 +420,7 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 	}
 	rep.Service = summarize(service)
 	rep.Sojourn = summarize(sojourn)
+	rep.SojournAccepted = summarize(sojournAccepted)
 	return rep, nil
 }
 
@@ -320,9 +428,9 @@ func RunLoad(baseURL string, trace []TimedQuery, opt LoadOptions) (*LoadReport, 
 // answers with — per-item batch outcomes carry only the code.
 func codeStatus(code string) int {
 	switch code {
-	case CodeAdmissionDenied:
+	case CodeAdmissionDenied, CodeOverloaded:
 		return http.StatusTooManyRequests
-	case CodeBudgetExceeded, CodeCancelled:
+	case CodeBudgetExceeded, CodeCancelled, CodeDraining:
 		return http.StatusServiceUnavailable
 	case CodeDeadline:
 		return http.StatusGatewayTimeout
@@ -334,15 +442,16 @@ func codeStatus(code string) int {
 }
 
 // doBatch issues one POST /batch and decodes the per-item outcomes.
-// items is nil unless the batch answered 200.
-func doBatch(client *http.Client, baseURL string, qs []string) (items []BatchItem, status int, transportErr bool) {
+// items is nil unless the batch answered 200; code carries the wire
+// error class of a whole-batch refusal.
+func doBatch(client *http.Client, baseURL string, qs []string) (items []BatchItem, status int, code string, transportErr bool) {
 	body, err := json.Marshal(BatchRequest{Queries: qs})
 	if err != nil {
-		return nil, 0, true
+		return nil, 0, "", true
 	}
 	resp, err := client.Post(baseURL+"/batch", "application/json", strings.NewReader(string(body)))
 	if err != nil {
-		return nil, 0, true
+		return nil, 0, "", true
 	}
 	defer resp.Body.Close()
 	status = resp.StatusCode
@@ -352,15 +461,25 @@ func doBatch(client *http.Client, baseURL string, qs []string) (items []BatchIte
 			items = br.Results
 		}
 	} else {
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err == nil {
+			code = er.Code
+		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
-	return items, status, false
+	return items, status, code, false
 }
 
 // queryOutcome is the slice of a response RunLoad classifies on.
 type queryOutcome struct {
-	status   int
-	degraded bool
+	status     int
+	degraded   bool
+	degradedBy string
+	// code is the wire error class of a non-2xx answer; retryAfterMs is
+	// the server's capacity hint when it sent one — nonzero marks the
+	// answer retryable.
+	code         string
+	retryAfterMs int64
 }
 
 // doQuery issues one query and decodes just enough of the answer.
@@ -375,9 +494,15 @@ func doQuery(client *http.Client, baseURL, q string) (out queryOutcome, hits, mi
 		var qr QueryResponse
 		if err := json.NewDecoder(resp.Body).Decode(&qr); err == nil {
 			out.degraded = qr.Degraded
+			out.degradedBy = qr.DegradedBy
 			hits, misses = qr.CacheHits, qr.CacheMisses
 		}
 	} else {
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err == nil {
+			out.code = er.Code
+			out.retryAfterMs = er.RetryAfterMs
+		}
 		// Drain so the connection is reusable.
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}

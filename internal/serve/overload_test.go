@@ -1,0 +1,550 @@
+package serve
+
+// Overload-control suite: the 429-vs-degraded-vs-503 wire contract for
+// every outcome path (including mid-drain), shed/brownout/retry cycles
+// under bursty load with fault injection, brownout escalation and
+// recovery, and the leak-hygiene criterion across 100 overload cycles.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+	"repro/pathsel"
+)
+
+// newOverloadServer is newTestServer with the overload controller
+// enabled.
+func newOverloadServer(t testing.TB, cfg pathsel.Config, oc OverloadConfig) (*pathsel.Graph, *Server, *httptest.Server) {
+	t.Helper()
+	g := testGraph(t, 11, 40, 3, 300)
+	if cfg.MaxPathLength == 0 {
+		cfg.MaxPathLength = 3
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 16
+	}
+	est, err := pathsel.Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(est, Options{Overload: &oc})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return g, srv, ts
+}
+
+// burstyTrace builds an ON/OFF bursty arrival trace over the standard
+// label vocabulary.
+func burstyTrace(t testing.TB, labels []string, n int, rate float64, seed int64) []TimedQuery {
+	t.Helper()
+	pool, err := workload.QueryPool(len(labels), 3, 16, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ZipfTrace(workload.TraceOptions{
+		Pool: pool, Rate: rate, N: n, Seed: seed,
+		Arrival: workload.ArrivalOnOff, OnDur: 20 * time.Millisecond, OffDur: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq, err := TraceQueries(tr, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tq
+}
+
+// getWire fetches a URL and returns status, decoded bodies, and whether
+// a Retry-After header was present.
+func getWire(t *testing.T, url string) (status int, qr QueryResponse, er ErrorResponse, retryAfter bool) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	retryAfter = resp.Header.Get("Retry-After") != ""
+	if status == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	} else if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("GET %s: decoding error body: %v", url, err)
+	}
+	return status, qr, er, retryAfter
+}
+
+// TestOverloadWireContract pins status code, wire code, and Retry-After
+// presence for every outcome path the overload layer can answer with —
+// including requests arriving mid-drain.
+func TestOverloadWireContract(t *testing.T) {
+	// An inert controller config: ticks effectively never fire, so
+	// pre-seeded limiter state stays put for the duration of a case.
+	inert := OverloadConfig{MaxInFlight: 2, QueueLimit: 2, QueueTimeout: 50 * time.Millisecond, TickEvery: time.Hour}
+
+	t.Run("ok exact", func(t *testing.T) {
+		g, _, ts := newOverloadServer(t, pathsel.Config{}, inert)
+		want, err := g.TrueSelectivity("a/b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, qr, _, ra := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusOK || qr.Degraded || ra {
+			t.Fatalf("status %d degraded %v retry-after %v, want plain 200", st, qr.Degraded, ra)
+		}
+		if qr.Result != want {
+			t.Fatalf("result %d, want %d", qr.Result, want)
+		}
+	})
+
+	t.Run("degraded by admission", func(t *testing.T) {
+		_, _, ts := newOverloadServer(t, pathsel.Config{MaxPlanCost: 1e-12, DegradeToEstimate: true}, inert)
+		st, qr, _, ra := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusOK || !qr.Degraded || qr.DegradedBy != CodeAdmissionDenied || ra {
+			t.Fatalf("status %d body %+v retry-after %v, want degraded 200 by %q", st, qr, ra, CodeAdmissionDenied)
+		}
+	})
+
+	t.Run("degraded by brownout", func(t *testing.T) {
+		_, srv, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+			MaxInFlight: 2, Brownout: true, TickEvery: time.Hour,
+		})
+		// Pre-seed the deepest tier: any query with join cost degrades.
+		srv.lim.mu.Lock()
+		srv.lim.tier = maxBrownoutTier
+		srv.lim.costThreshold = 1e-12
+		srv.lim.mu.Unlock()
+		st, qr, _, ra := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusOK || !qr.Degraded || qr.DegradedBy != CodeBrownout || ra {
+			t.Fatalf("status %d body %+v retry-after %v, want degraded 200 by %q", st, qr, ra, CodeBrownout)
+		}
+		if qr.Work != 0 {
+			t.Fatalf("brownout answer did graph work: %+v", qr)
+		}
+		if c := srv.Counters(); c.BrownoutDegraded != 1 || c.Degraded != 1 {
+			t.Fatalf("counters %+v, want one brownout-degraded", c)
+		}
+	})
+
+	t.Run("cost rejection keeps admission_denied without retry-after", func(t *testing.T) {
+		_, _, ts := newOverloadServer(t, pathsel.Config{MaxPlanCost: 1e-12}, inert)
+		st, _, er, ra := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusTooManyRequests || er.Code != CodeAdmissionDenied || ra || er.RetryAfterMs != 0 {
+			t.Fatalf("status %d code %q retry-after %v/%d, want plain 429 %q",
+				st, er.Code, ra, er.RetryAfterMs, CodeAdmissionDenied)
+		}
+	})
+
+	t.Run("shed on full queue", func(t *testing.T) {
+		_, srv, ts := newOverloadServer(t, pathsel.Config{}, inert)
+		// Pre-seed saturation: every slot busy, queue at its limit.
+		srv.lim.mu.Lock()
+		srv.lim.inFlight = srv.lim.limit
+		for i := 0; i < srv.lim.cfg.QueueLimit; i++ {
+			srv.lim.queue = append(srv.lim.queue, &waiter{ready: make(chan struct{})})
+		}
+		srv.lim.mu.Unlock()
+		st, _, er, ra := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusTooManyRequests || er.Code != CodeOverloaded {
+			t.Fatalf("status %d code %q, want 429 %q", st, er.Code, CodeOverloaded)
+		}
+		if !ra || er.RetryAfterMs < 1 {
+			t.Fatalf("shed without a usable hint: header %v, retry_after_ms %d", ra, er.RetryAfterMs)
+		}
+		if c := srv.Counters(); c.Shed != 1 || c.Rejected != 0 {
+			t.Fatalf("counters %+v, want exactly one shed", c)
+		}
+	})
+
+	t.Run("queued request served when capacity frees", func(t *testing.T) {
+		g, _, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+			MaxInFlight: 1, QueueLimit: 4, QueueTimeout: 2 * time.Second, TickEvery: time.Hour,
+		})
+		faultinject.Install(faultinject.NewInjector(
+			faultinject.Rule{Site: "exec.step", Count: 1, Action: faultinject.ActDelay, Delay: 60 * time.Millisecond},
+		))
+		t.Cleanup(faultinject.Uninstall)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?q=a/b/c") // occupies the only slot
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		time.Sleep(20 * time.Millisecond) // let the slow query take the slot
+		want, err := g.TrueSelectivity("b/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, qr, _, _ := getWire(t, ts.URL+"/query?q=b/a")
+		wg.Wait()
+		if st != http.StatusOK || qr.Result != want {
+			t.Fatalf("queued query: status %d result %d, want 200/%d", st, qr.Result, want)
+		}
+	})
+
+	t.Run("draining refuses with retry-after", func(t *testing.T) {
+		for _, withController := range []bool{true, false} {
+			name := map[bool]string{true: "controller", false: "bare"}[withController]
+			var srv *Server
+			var ts *httptest.Server
+			if withController {
+				_, srv, ts = newOverloadServer(t, pathsel.Config{}, inert)
+			} else {
+				_, srv, ts = newTestServer(t, pathsel.Config{})
+			}
+			srv.StartDrain()
+			st, _, er, ra := getWire(t, ts.URL+"/query?q=a/b")
+			if st != http.StatusServiceUnavailable || er.Code != CodeDraining || !ra || er.RetryAfterMs < 1 {
+				t.Fatalf("%s mid-drain: status %d code %q retry-after %v/%d, want 503 %q with hints",
+					name, st, er.Code, ra, er.RetryAfterMs, CodeDraining)
+			}
+			var body map[string]any
+			if hst := getJSON(t, ts.URL+"/healthz", &body); hst != http.StatusServiceUnavailable || body["status"] != "draining" {
+				t.Fatalf("%s mid-drain healthz: status %d body %v, want 503 draining", name, hst, body)
+			}
+		}
+	})
+
+	t.Run("deadline still 504", func(t *testing.T) {
+		_, _, ts := newOverloadServer(t, pathsel.Config{QueryTimeout: time.Nanosecond}, inert)
+		st, _, er, ra := getWire(t, ts.URL+"/query?q=a/b/c")
+		if st != http.StatusGatewayTimeout || er.Code != CodeDeadline || ra {
+			t.Fatalf("status %d code %q retry-after %v, want plain 504 %q", st, er.Code, ra, CodeDeadline)
+		}
+	})
+
+	t.Run("admit-site panic contained as 500", func(t *testing.T) {
+		_, srv, ts := newOverloadServer(t, pathsel.Config{}, inert)
+		faultinject.Install(faultinject.NewInjector(
+			faultinject.Rule{Site: "serve.admit", Count: 1, Action: faultinject.ActPanic},
+		))
+		t.Cleanup(faultinject.Uninstall)
+		st, _, er, _ := getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusInternalServerError || er.Code != CodeExecutionFailed {
+			t.Fatalf("status %d code %q, want typed 500 %q — a severed connection means the panic escaped",
+				st, er.Code, CodeExecutionFailed)
+		}
+		faultinject.Uninstall()
+		// The slot accounting must survive the contained panic.
+		st, _, _, _ = getWire(t, ts.URL+"/query?q=a/b")
+		if st != http.StatusOK {
+			t.Fatalf("follow-up query status %d, want 200", st)
+		}
+		if c := srv.Counters(); c.InFlight != 0 {
+			t.Fatalf("in-flight %d after contained panic", c.InFlight)
+		}
+	})
+}
+
+// loadPartition asserts the report's outcome counters exactly partition
+// the trace.
+func loadPartition(t *testing.T, rep *LoadReport) {
+	t.Helper()
+	sum := rep.OK + rep.Degraded + rep.BadRequest + rep.Rejected + rep.Shed +
+		rep.Overload + rep.Timeout + rep.Failed + rep.TransportErrors
+	if sum != int64(rep.Queries) {
+		t.Fatalf("outcomes sum to %d, want %d: %+v", sum, rep.Queries, rep)
+	}
+}
+
+// TestOverloadShedsUnderBurst saturates a 1-slot server with slow
+// (jitter-delayed) queries and pins: sheds happen and carry usable
+// hints, the retrying client's accounting partitions the trace, no
+// connection is dropped, and shed requests never held execution
+// capacity (peak in-flight stays at the limit).
+func TestOverloadShedsUnderBurst(t *testing.T) {
+	g, srv, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+		MaxInFlight: 1, QueueLimit: 2, QueueTimeout: 5 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+	})
+	faultinject.Install(faultinject.NewInjector(
+		faultinject.Rule{Site: "exec.step", Count: 0, Action: faultinject.ActDelay,
+			Delay: 10 * time.Millisecond, Jitter: 10 * time.Millisecond},
+	))
+	t.Cleanup(faultinject.Uninstall)
+
+	trace := buildTrace(t, g.Labels(), 60, 0, 29) // saturation: all arrivals at once
+	rep, err := RunLoad(ts.URL, trace, LoadOptions{
+		Concurrency: 16,
+		Retry:       RetryPolicy{Max: 2, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPartition(t, rep)
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors under overload — sheds must be clean responses: %+v", rep.TransportErrors, rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no sheds despite 16-way saturation of a 1-slot queue-2 server: %+v", rep)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("retrying client never retried despite %d sheds: %+v", rep.Shed, rep)
+	}
+	if rep.OK+rep.Degraded == 0 {
+		t.Fatalf("nothing was served at all: %+v", rep)
+	}
+
+	var stats StatsResponse
+	if st := getJSON(t, ts.URL+"/stats", &stats); st != http.StatusOK || stats.Overload == nil {
+		t.Fatalf("/stats status %d overload %v, want populated overload section", st, stats.Overload)
+	}
+	ov := stats.Overload
+	if ov.PeakInFlight > 1 {
+		t.Fatalf("peak in-flight %d above the limit 1 — queued or shed requests held execution capacity", ov.PeakInFlight)
+	}
+	if ov.Shed != srv.Counters().Shed || ov.Shed == 0 {
+		t.Fatalf("stats shed %d vs counters %d, want equal and nonzero", ov.Shed, srv.Counters().Shed)
+	}
+	if c := srv.Counters(); c.InFlight != 0 {
+		t.Fatalf("in-flight %d after quiescence", c.InFlight)
+	}
+}
+
+// TestBrownoutEscalatesAndRecovers drives sustained shed pressure until
+// the brownout tier escalates, then removes the pressure and pins the
+// recovery criterion: the tier de-escalates to 0, the queue drains,
+// /healthz returns to 200, and a paced follow-up run is served cleanly
+// and exactly.
+func TestBrownoutEscalatesAndRecovers(t *testing.T) {
+	g, _, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+		MaxInFlight: 1, QueueLimit: 2, QueueTimeout: 2 * time.Millisecond,
+		Brownout: true, TickEvery: 5 * time.Millisecond, BrownoutUp: 1, BrownoutDown: 2,
+	})
+	faultinject.Install(faultinject.NewInjector(
+		faultinject.Rule{Site: "exec.step", Count: 0, Action: faultinject.ActDelay,
+			Delay: 8 * time.Millisecond, Jitter: 8 * time.Millisecond},
+	))
+	t.Cleanup(faultinject.Uninstall)
+
+	// Pressure phase: concurrent slow load until the tier escalates.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := []string{"a/b/c", "b/a", "c/b/a", "a/c"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/query?q=" + qs[(i+w)%len(qs)])
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	escalated := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var stats StatsResponse
+		getJSON(t, ts.URL+"/stats", &stats)
+		if stats.Overload != nil && stats.Overload.BrownoutTier > 0 {
+			escalated = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if !escalated {
+		t.Fatal("brownout tier never escalated under sustained shed pressure")
+	}
+
+	// Recovery phase: pressure and faults gone, the tier must fall back
+	// to 0 and the queue drain (stats reads advance the controller).
+	faultinject.Uninstall()
+	deadline = time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		var stats StatsResponse
+		getJSON(t, ts.URL+"/stats", &stats)
+		if ov := stats.Overload; ov != nil && ov.BrownoutTier == 0 && ov.QueueDepth == 0 && ov.InFlight == 0 {
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		var stats StatsResponse
+		getJSON(t, ts.URL+"/stats", &stats)
+		t.Fatalf("brownout did not de-escalate after pressure cleared: %+v", stats.Overload)
+	}
+	if st := getJSON(t, ts.URL+"/healthz", nil); st != http.StatusOK {
+		t.Fatalf("healthz %d after recovery, want 200", st)
+	}
+
+	// Clean paced run: every answer exact and undegraded. One worker so
+	// the fast path always has a free slot — the service-time EWMA is
+	// still polluted by the chaos phase and would shed colliding
+	// arrivals against the 2ms queue budget.
+	trace := burstyTrace(t, g.Labels(), 30, 400, 31)
+	rep, err := RunLoad(ts.URL, trace, LoadOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPartition(t, rep)
+	if rep.OK != int64(rep.Queries) {
+		t.Fatalf("post-recovery run not clean: %+v", rep)
+	}
+	for _, q := range []string{"a/b", "b/c/a", "c/a"} {
+		want, err := g.TrueSelectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, qr, _, _ := getWire(t, ts.URL+"/query?q="+q)
+		if st != http.StatusOK || qr.Degraded || qr.Result != want {
+			t.Fatalf("post-recovery %q: status %d %+v, want exact %d", q, st, qr, want)
+		}
+	}
+}
+
+// TestOverloadCyclesLeakFree runs 100 shed/brownout/retry cycles against
+// one server and pins the leak criteria: goroutines return to baseline,
+// nothing stays in flight or queued, and every non-degraded answer stays
+// bit-identical to the ground truth afterwards.
+func TestOverloadCyclesLeakFree(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		g, srv, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+			MaxInFlight: 1, QueueLimit: 2, QueueTimeout: time.Millisecond,
+			Brownout: true, TickEvery: 2 * time.Millisecond, BrownoutUp: 1, BrownoutDown: 1,
+		})
+		faultinject.Install(faultinject.NewInjector(
+			faultinject.Rule{Site: "exec.step", Count: 0, Action: faultinject.ActDelay,
+				Delay: time.Millisecond, Jitter: 2 * time.Millisecond},
+		))
+		defer faultinject.Uninstall()
+
+		qs := []string{"a/b/c", "b/a", "c/b/a", "a/c", "b/c", "a/b"}
+		client := &http.Client{}
+		for cycle := 0; cycle < 100; cycle++ {
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// One retry per request, honoring the server hint —
+					// each cycle mixes served, shed, degraded, and retried
+					// outcomes.
+					for attempt := 0; attempt < 2; attempt++ {
+						out, _, _, transportErr := doQuery(client, ts.URL, qs[(cycle+w)%len(qs)])
+						if transportErr {
+							t.Errorf("cycle %d: transport error", cycle)
+							return
+						}
+						if out.retryAfterMs == 0 {
+							return
+						}
+						time.Sleep(time.Duration(out.retryAfterMs) * time.Millisecond)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		faultinject.Uninstall()
+
+		// Post-chaos: exactness and drained controller state.
+		for _, q := range []string{"a/b", "b/c/a"} {
+			want, err := g.TrueSelectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Brownout may still be escalated right after the cycles; poll
+			// until the controller has relaxed enough to answer exactly.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				st, qr, _, _ := getWire(t, ts.URL+"/query?q="+q)
+				if st == http.StatusOK && !qr.Degraded {
+					if qr.Result != want {
+						t.Fatalf("post-cycles %q: result %d, want %d — overload cycles corrupted state", q, qr.Result, want)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("post-cycles %q: no exact answer before deadline (status %d)", q, st)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		var stats StatsResponse
+		getJSON(t, ts.URL+"/stats", &stats)
+		if ov := stats.Overload; ov == nil || ov.InFlight != 0 || ov.QueueDepth != 0 {
+			t.Fatalf("controller not drained after cycles: %+v", stats.Overload)
+		}
+		if ov := stats.Overload; ov.Shed == 0 && ov.BrownoutDegraded == 0 {
+			t.Fatalf("100 cycles produced neither sheds nor brownout degrades — the test exercised nothing: %+v", ov)
+		}
+		if c := srv.Counters(); c.InFlight != 0 {
+			t.Fatalf("in-flight %d after cycles", c.InFlight)
+		}
+		ts.Close()
+		client.CloseIdleConnections()
+		http.DefaultClient.CloseIdleConnections()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count %d did not return to baseline %d after overload cycles",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchShedsAsOneUnit pins that a /batch occupies a single slot and
+// is shed wholesale with the overloaded code when the queue is full.
+func TestBatchShedsAsOneUnit(t *testing.T) {
+	_, srv, ts := newOverloadServer(t, pathsel.Config{}, OverloadConfig{
+		MaxInFlight: 1, QueueLimit: 1, QueueTimeout: 10 * time.Millisecond, TickEvery: time.Hour,
+	})
+	srv.lim.mu.Lock()
+	srv.lim.inFlight = srv.lim.limit
+	srv.lim.queue = append(srv.lim.queue, &waiter{ready: make(chan struct{})})
+	srv.lim.mu.Unlock()
+	items, status, code, transportErr := doBatch(http.DefaultClient, ts.URL, []string{"a/b", "b/c"})
+	if transportErr {
+		t.Fatal("transport error on shed batch")
+	}
+	if status != http.StatusTooManyRequests || code != CodeOverloaded || items != nil {
+		t.Fatalf("batch shed: status %d code %q items %v, want 429 %q", status, code, items, CodeOverloaded)
+	}
+}
+
+// TestRetryWaitContract pins the client backoff: the wait honors the
+// server hint, grows exponentially from Base, and never exceeds Cap.
+func TestRetryWaitContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pol := RetryPolicy{Max: 3, Base: 2 * time.Millisecond, Cap: 40 * time.Millisecond}
+	if w := retryWait(rng, pol, 1, 20); w < 20*time.Millisecond {
+		t.Fatalf("wait %v ignored a 20ms server hint", w)
+	}
+	if w := retryWait(rng, pol, 3, 0); w < 8*time.Millisecond {
+		t.Fatalf("attempt-3 wait %v below exponential floor 8ms", w)
+	}
+	for attempt := 1; attempt < 30; attempt++ {
+		if w := retryWait(rng, pol, attempt, 1000); w > pol.Cap {
+			t.Fatalf("attempt-%d wait %v exceeds cap %v", attempt, w, pol.Cap)
+		}
+	}
+}

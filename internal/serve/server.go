@@ -22,13 +22,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/pathsel"
 )
 
@@ -63,8 +66,13 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is the machine-readable error class: one of bad_request,
 	// bad_pattern, admission_denied, budget_exceeded, deadline_exceeded,
-	// cancelled, execution_failed.
+	// cancelled, execution_failed, overloaded, draining.
 	Code string `json:"code"`
+	// RetryAfterMs, when > 0, is the server's hint of when capacity
+	// should exist again — present on overload sheds (429, alongside a
+	// Retry-After header) and drain refusals (503). Clients that honor
+	// it (serveload's retry mode does) converge instead of hammering.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Error codes of ErrorResponse.Code.
@@ -76,6 +84,19 @@ const (
 	CodeDeadline        = "deadline_exceeded"
 	CodeCancelled       = "cancelled"
 	CodeExecutionFailed = "execution_failed"
+	// CodeOverloaded marks a request shed by the overload controller
+	// (429 + Retry-After): distinct from CodeAdmissionDenied, which is
+	// the per-query cost gate — an overloaded shed says "come back
+	// later", a cost rejection says "this query is too expensive here".
+	CodeOverloaded = "overloaded"
+	// CodeDraining refuses a request arriving during graceful shutdown
+	// (503 + Retry-After) so load balancers retry against a peer.
+	CodeDraining = "draining"
+	// CodeBrownout marks a degraded answer produced by the brownout
+	// controller (QueryResponse.DegradedBy, never an error code): the
+	// query was answered with its histogram estimate because load, not
+	// its own cost, demanded it.
+	CodeBrownout = "brownout"
 )
 
 // maxBatchQueries bounds one /batch request; larger workloads should be
@@ -92,10 +113,16 @@ type Counters struct {
 	Degraded   int64 `json:"degraded"`
 	BadRequest int64 `json:"bad_request"`
 	Rejected   int64 `json:"rejected"` // admission denied (429)
-	Overload   int64 `json:"overload"` // budget exceeded / cancelled (503)
+	Overload   int64 `json:"overload"` // budget exceeded / cancelled / draining (503)
 	Timeout    int64 `json:"timeout"`  // deadline exceeded (504)
 	Failed     int64 `json:"failed"`   // execution failed (500)
-	InFlight   int64 `json:"in_flight"`
+	// Shed counts requests refused by the overload controller (429 +
+	// Retry-After); BrownoutDegraded counts answers the brownout
+	// controller degraded to estimates (a subset of Degraded). Both stay
+	// zero with the controller disabled.
+	Shed             int64 `json:"shed"`
+	BrownoutDegraded int64 `json:"brownout_degraded"`
+	InFlight         int64 `json:"in_flight"`
 	// Scheduler activity summed over every successfully answered query:
 	// parallel join-step tasks executed, tasks stolen across workers, and
 	// worker parks. All-zero when every request ran its steps
@@ -115,7 +142,11 @@ type StatsResponse struct {
 	MaxPathLength int                 `json:"max_path_length"`
 	Counters      Counters            `json:"counters"`
 	Cache         *pathsel.CacheStats `json:"cache,omitempty"`
-	UptimeNs      int64               `json:"uptime_ns"`
+	// Overload is the overload controller's live state (queue depth,
+	// adaptive limit, brownout tier, shed counters); absent when the
+	// controller is disabled.
+	Overload *OverloadStats `json:"overload,omitempty"`
+	UptimeNs int64          `json:"uptime_ns"`
 }
 
 // Server wraps one persistent estimator behind an http.Handler. All
@@ -125,12 +156,28 @@ type Server struct {
 	est     *pathsel.Estimator
 	mux     *http.ServeMux
 	started time.Time
+	// lim is the overload controller; nil when disabled (the default),
+	// in which case every request executes immediately as before.
+	lim *limiter
+	// draining refuses new work after StartDrain even with no
+	// controller, so graceful shutdown always has a readiness signal.
+	draining atomic.Bool
 
 	requests, batches                   atomic.Int64
 	ok, degraded, badRequest            atomic.Int64
 	rejected, overload, timeout, failed atomic.Int64
+	shed, brownoutDegraded              atomic.Int64
 	inFlight                            atomic.Int64
 	schedTasks, schedSteals, schedParks atomic.Int64
+}
+
+// Options tunes a server beyond the estimator's own Config.
+type Options struct {
+	// Overload enables the server-wide overload controller (adaptive
+	// concurrency limit, bounded admission queue, brownout degradation —
+	// see OverloadConfig). nil, or a config with MaxInFlight ≤ 0,
+	// disables it.
+	Overload *OverloadConfig
 }
 
 // New wraps est. The estimator's Config decides the serving policy:
@@ -138,12 +185,32 @@ type Server struct {
 // bounds each request, MaxPlanCost/MaxResultBytes gate admission, and
 // DegradeToEstimate turns kills into degraded 200s.
 func New(est *pathsel.Estimator) *Server {
+	return NewWithOptions(est, Options{})
+}
+
+// NewWithOptions is New plus server-level options.
+func NewWithOptions(est *pathsel.Estimator, opt Options) *Server {
 	s := &Server{est: est, mux: http.NewServeMux(), started: time.Now()}
+	if opt.Overload != nil && opt.Overload.MaxInFlight > 0 {
+		s.lim = newLimiter(*opt.Overload)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
+}
+
+// StartDrain moves the server into draining: /healthz turns 503 so load
+// balancers rotate the replica out, new queries are refused with
+// CodeDraining + Retry-After, and in-flight (and queued) work finishes
+// normally. Call it before http.Server.Shutdown, which handles the
+// connection-level part of the same story.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	if s.lim != nil {
+		s.lim.startDrain()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -152,19 +219,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Counters snapshots the request accounting.
 func (s *Server) Counters() Counters {
 	return Counters{
-		Requests:    s.requests.Load(),
-		Batches:     s.batches.Load(),
-		OK:          s.ok.Load(),
-		Degraded:    s.degraded.Load(),
-		BadRequest:  s.badRequest.Load(),
-		Rejected:    s.rejected.Load(),
-		Overload:    s.overload.Load(),
-		Timeout:     s.timeout.Load(),
-		Failed:      s.failed.Load(),
-		InFlight:    s.inFlight.Load(),
-		SchedTasks:  s.schedTasks.Load(),
-		SchedSteals: s.schedSteals.Load(),
-		SchedParks:  s.schedParks.Load(),
+		Requests:         s.requests.Load(),
+		Batches:          s.batches.Load(),
+		OK:               s.ok.Load(),
+		Degraded:         s.degraded.Load(),
+		BadRequest:       s.badRequest.Load(),
+		Rejected:         s.rejected.Load(),
+		Overload:         s.overload.Load(),
+		Timeout:          s.timeout.Load(),
+		Failed:           s.failed.Load(),
+		Shed:             s.shed.Load(),
+		BrownoutDegraded: s.brownoutDegraded.Load(),
+		InFlight:         s.inFlight.Load(),
+		SchedTasks:       s.schedTasks.Load(),
+		SchedSteals:      s.schedSteals.Load(),
+		SchedParks:       s.schedParks.Load(),
 	}
 }
 
@@ -176,9 +245,21 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// handleHealthz distinguishes liveness from readiness: 200 "ok" when
+// the replica should receive traffic, 503 "draining" during graceful
+// shutdown, 503 "overloaded" while the controller is saturated (full
+// queue or deepest brownout tier) — the signal load balancers use to
+// rotate the replica out before clients feel it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	status, state := http.StatusOK, "ok"
+	switch {
+	case s.draining.Load():
+		status, state = http.StatusServiceUnavailable, "draining"
+	case s.lim != nil && s.lim.hardOverloaded():
+		status, state = http.StatusServiceUnavailable, "overloaded"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    state,
 		"uptime_ns": time.Since(s.started).Nanoseconds(),
 	})
 }
@@ -192,6 +273,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if cs, ok := s.est.CacheStats(); ok {
 		resp.Cache = &cs
+	}
+	if s.lim != nil {
+		os := s.lim.stats()
+		os.Shed = s.shed.Load()
+		os.BrownoutDegraded = s.brownoutDegraded.Load()
+		os.Draining = os.Draining || s.draining.Load()
+		resp.Overload = &os
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -240,6 +328,108 @@ func (s *Server) countError(status int) {
 	}
 }
 
+// degradedCode renders ExecStats.DegradedBy as a wire code, including
+// the brownout cause errClass never sees (brownout is not an error).
+func degradedCode(err error) string {
+	if errors.Is(err, pathsel.ErrBrownout) {
+		return CodeBrownout
+	}
+	_, code := errClass(err)
+	return code
+}
+
+// retryAfterHeader renders a duration as the Retry-After header's
+// integer seconds, rounded up so the hint never undershoots.
+func retryAfterHeader(d time.Duration) string {
+	secs := (d + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(int64(secs), 10)
+}
+
+// writeError renders one execution error, counting it: overload sheds
+// get 429 + CodeOverloaded with the Retry-After hint in both header
+// (whole seconds) and body (milliseconds — the precise form), drain
+// refusals 503 + CodeDraining + Retry-After, everything else the
+// errClass contract.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var sh *shedError
+	switch {
+	case errors.As(err, &sh):
+		s.shed.Add(1)
+		ms := sh.retryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		w.Header().Set("Retry-After", retryAfterHeader(sh.retryAfter))
+		writeJSON(w, http.StatusTooManyRequests,
+			ErrorResponse{Error: err.Error(), Code: CodeOverloaded, RetryAfterMs: ms})
+	case errors.Is(err, errDraining):
+		s.overload.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			ErrorResponse{Error: err.Error(), Code: CodeDraining, RetryAfterMs: time.Second.Milliseconds()})
+	default:
+		status, code := errClass(err)
+		s.countError(status)
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+	}
+}
+
+// admit gates one request through drain state and the overload
+// controller: on success the returned policy carries the brownout tier
+// and release must be called when the execution finishes (it feeds the
+// observed service time back into the limiter). With the controller
+// disabled both are trivial and requests flow exactly as before.
+func (s *Server) admit(ctx context.Context) (pathsel.ExecPolicy, func(), error) {
+	faultinject.Fire("serve.admit")
+	if s.lim == nil {
+		if s.draining.Load() {
+			return pathsel.ExecPolicy{}, nil, errDraining
+		}
+		return pathsel.ExecPolicy{}, func() {}, nil
+	}
+	pol, err := s.lim.acquire(ctx)
+	if err != nil {
+		return pathsel.ExecPolicy{}, nil, err
+	}
+	start := time.Now()
+	return pol, func() { s.lim.release(time.Since(start)) }, nil
+}
+
+// observeCost feeds an answered query's plan cost into the brownout
+// percentile window.
+func (s *Server) observeCost(cost float64) {
+	if s.lim != nil {
+		s.lim.recordCost(cost)
+	}
+}
+
+// execute runs one query under the overload regime: admission (shed /
+// drain / queue), the brownout policy, service-time feedback, and
+// handler-level panic containment — net/http's own recover would sever
+// the connection, turning an injected serve.admit panic into a client
+// transport error instead of a typed 500.
+func (s *Server) execute(ctx context.Context, q string) (st pathsel.ExecStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = pathsel.ExecStats{}, fmt.Errorf("%w: contained serving-layer panic: %v",
+				pathsel.ErrExecutionFailed, r)
+		}
+	}()
+	pol, release, err := s.admit(ctx)
+	if err != nil {
+		return pathsel.ExecStats{}, err
+	}
+	defer release()
+	st, err = s.est.ExecuteQueryCtxPolicy(ctx, q, pol)
+	if err == nil {
+		s.observeCost(st.Plan.EstimatedCost)
+	}
+	return st, err
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed,
@@ -269,11 +459,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		q = pattern
 	}
 	start := time.Now()
-	st, err := s.est.ExecuteQueryCtx(r.Context(), q)
+	st, err := s.execute(r.Context(), q)
 	if err != nil {
-		status, code := errClass(err)
-		s.countError(status)
-		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+		s.writeError(w, err)
 		return
 	}
 	s.schedTasks.Add(st.Sched.Tasks)
@@ -292,7 +480,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.Degraded {
 		s.degraded.Add(1)
-		_, resp.DegradedBy = errClass(st.DegradedBy)
+		resp.DegradedBy = degradedCode(st.DegradedBy)
+		if resp.DegradedBy == CodeBrownout {
+			s.brownoutDegraded.Add(1)
+		}
 	} else {
 		s.ok.Add(1)
 	}
@@ -373,12 +564,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		xs[i] = x
 	}
-	br, err := s.est.ExecuteExprBatchCtx(r.Context(), xs, pathsel.BatchOptions{Workers: req.Workers})
+	br, err := s.executeBatch(r.Context(), xs, req.Workers)
 	if err != nil {
-		// Unreachable with handles we just compiled; classify defensively.
-		status, code := errClass(err)
-		s.countError(status)
-		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+		s.writeError(w, err)
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(br.Results))}
@@ -400,9 +588,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			item.Error, item.Code = qr.Err.Error(), code
 		case qr.Degraded:
 			s.degraded.Add(1)
-			_, item.DegradedBy = errClass(qr.DegradedBy)
+			item.DegradedBy = degradedCode(qr.DegradedBy)
+			if item.DegradedBy == CodeBrownout {
+				s.brownoutDegraded.Add(1)
+			}
+			s.observeCost(qr.Plan.EstimatedCost)
 		default:
 			s.ok.Add(1)
+			s.observeCost(qr.Plan.EstimatedCost)
 		}
 		s.schedTasks.Add(qr.Sched.Tasks)
 		s.schedSteals.Add(qr.Sched.Steals)
@@ -411,4 +604,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.LatencyNs = time.Since(start).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeBatch runs one batch under the overload regime: the whole
+// batch occupies a single in-flight slot (its queries already share the
+// estimator's internal parallelism), the brownout policy applies to
+// every entry, and panics are contained exactly as in execute.
+func (s *Server) executeBatch(ctx context.Context, xs []*pathsel.Expr, workers int) (br *pathsel.BatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			br, err = nil, fmt.Errorf("%w: contained serving-layer panic: %v",
+				pathsel.ErrExecutionFailed, r)
+		}
+	}()
+	pol, release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.est.ExecuteExprBatchCtx(ctx, xs, pathsel.BatchOptions{Workers: workers, Policy: pol})
 }

@@ -27,6 +27,34 @@ const (
 	DefaultZipfV = 1.0
 )
 
+// Arrival-process modes of TraceOptions.Arrival. All three share the
+// same mean rate (TraceOptions.Rate); they differ in how arrivals clump,
+// which is what overload control is judged against — a Poisson stream
+// never concentrates load the way real traffic does.
+const (
+	// ArrivalExp is the default: exponential inter-arrival gaps, i.e. a
+	// Poisson process — maximally memoryless, no bursts beyond chance.
+	ArrivalExp = "exp"
+	// ArrivalOnOff alternates ON windows (arrivals at the elevated peak
+	// rate that preserves the mean) with silent OFF windows: the classic
+	// bursty source model. Within an ON window arrivals are Poisson at
+	// Rate × (OnDur+OffDur)/OnDur.
+	ArrivalOnOff = "onoff"
+	// ArrivalGamma draws inter-arrival gaps from a Gamma distribution
+	// with mean 1/Rate and shape GammaShape: shape < 1 clumps arrivals
+	// tighter than Poisson (heavier burst head and longer gaps), shape 1
+	// degenerates to ArrivalExp, shape > 1 smooths toward a pacing clock.
+	ArrivalGamma = "gamma"
+)
+
+// ON/OFF and Gamma defaults: a 1:3 duty cycle (4× peak factor) and a
+// shape that roughly doubles the variance of a Poisson stream.
+const (
+	DefaultOnDur      = 100 * time.Millisecond
+	DefaultOffDur     = 300 * time.Millisecond
+	DefaultGammaShape = 0.5
+)
+
 // TraceOptions parameterizes ZipfTrace.
 type TraceOptions struct {
 	// Pool is the ranked query pool: rank 0 is the hottest query. Must be
@@ -47,6 +75,20 @@ type TraceOptions struct {
 	N int
 	// Seed makes the trace deterministic: same options, same trace.
 	Seed int64
+
+	// Arrival selects the arrival-process shape: ArrivalExp (the
+	// default, also selected by ""), ArrivalOnOff, or ArrivalGamma. The
+	// bursty modes need a positive Rate — a burst shape is meaningless
+	// in saturation mode, where every arrival is already at time 0.
+	Arrival string
+	// OnDur and OffDur are the ON/OFF window lengths of ArrivalOnOff
+	// (≤ 0 selects DefaultOnDur / DefaultOffDur). The trace starts at
+	// the beginning of an ON window.
+	OnDur, OffDur time.Duration
+	// GammaShape is the Gamma shape parameter of ArrivalGamma (≤ 0
+	// selects DefaultGammaShape). Must resolve to a finite value in
+	// (0, 64].
+	GammaShape float64
 }
 
 // Arrival is one trace entry: a query and the instant, relative to the
@@ -111,15 +153,67 @@ func ZipfRankTrace(poolSize int, opt TraceOptions) ([]Arrival, error) {
 	if math.IsNaN(opt.Rate) {
 		return nil, fmt.Errorf("workload: rate is NaN")
 	}
+	mode := opt.Arrival
+	if mode == "" {
+		mode = ArrivalExp
+	}
+	switch mode {
+	case ArrivalExp, ArrivalOnOff, ArrivalGamma:
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival mode %q", opt.Arrival)
+	}
+	if mode != ArrivalExp && opt.Rate <= 0 {
+		return nil, fmt.Errorf("workload: %s arrivals need a positive rate (saturation mode has no burst shape)", mode)
+	}
+	onDur, offDur := opt.OnDur, opt.OffDur
+	if onDur <= 0 {
+		onDur = DefaultOnDur
+	}
+	if offDur <= 0 {
+		offDur = DefaultOffDur
+	}
+	shape := opt.GammaShape
+	if shape <= 0 {
+		shape = DefaultGammaShape
+	}
+	if mode == ArrivalGamma && (math.IsNaN(shape) || math.IsInf(shape, 0) || shape > 64) {
+		return nil, fmt.Errorf("workload: gamma shape %v outside (0, 64]", opt.GammaShape)
+	}
+	// The ON/OFF peak rate preserves the requested mean over a full
+	// ON+OFF cycle: all arrivals land in the ON fraction of the time.
+	peak := opt.Rate * float64(onDur+offDur) / float64(onDur)
 	rng := rand.New(rand.NewSource(opt.Seed))
 	zipf := rand.NewZipf(rng, s, v, uint64(poolSize-1))
 	out := make([]Arrival, opt.N)
 	var at time.Duration
+	var onTime time.Duration // ArrivalOnOff: cumulative ON-window time
 	for i := range out {
 		if opt.Rate > 0 {
-			gap := time.Duration(rng.ExpFloat64() / opt.Rate * float64(time.Second))
-			if next := at + gap; next >= at {
-				at = next // saturate instead of wrapping on absurd traces
+			switch mode {
+			case ArrivalExp:
+				gap := time.Duration(rng.ExpFloat64() / opt.Rate * float64(time.Second))
+				if next := at + gap; next >= at {
+					at = next // saturate instead of wrapping on absurd traces
+				}
+			case ArrivalGamma:
+				// Gamma(shape, θ) with θ = 1/(Rate·shape), so the mean gap
+				// stays 1/Rate at every shape.
+				gap := time.Duration(gammaRand(rng, shape) / (opt.Rate * shape) * float64(time.Second))
+				if next := at + gap; next >= at {
+					at = next
+				}
+			case ArrivalOnOff:
+				// Arrivals are Poisson at the peak rate within ON windows;
+				// mapping cumulative ON-time onto the ON/OFF cycle makes the
+				// OFF windows silent by construction.
+				gap := time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+				if next := onTime + gap; next >= onTime {
+					onTime = next
+					cycles := int64(onTime / onDur)
+					if t := time.Duration(cycles)*(onDur+offDur) + onTime%onDur; t >= at {
+						at = t // monotone; saturates if the cycle mapping overflows
+					}
+				}
 			}
 		}
 		// math/rand's Zipf overflows internally at extreme s and can
@@ -132,6 +226,32 @@ func ZipfRankTrace(poolSize int, opt TraceOptions) ([]Arrival, error) {
 		out[i] = Arrival{At: at, Rank: rank}
 	}
 	return out, nil
+}
+
+// gammaRand draws one Gamma(k, 1) variate via Marsaglia–Tsang squeeze
+// rejection. Shapes below 1 are boosted through Gamma(k+1)·U^(1/k);
+// U = 0 (possible from Float64) yields a zero gap, which is harmless.
+func gammaRand(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return gammaRand(rng, k+1) * math.Pow(rng.Float64(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
 }
 
 // QueryPool builds a deterministic ranked pool of n distinct label paths

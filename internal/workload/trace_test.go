@@ -152,6 +152,192 @@ func TestZipfTraceRejectsBadOptions(t *testing.T) {
 	}
 }
 
+// TestBurstyTraceDeterministic pins that both bursty modes are pure
+// functions of their options.
+func TestBurstyTraceDeterministic(t *testing.T) {
+	pool, err := QueryPool(4, 3, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{ArrivalOnOff, ArrivalGamma} {
+		opt := TraceOptions{Pool: pool, Rate: 2000, N: 400, Seed: 11, Arrival: mode}
+		a, err := ZipfTrace(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		b, err := ZipfTrace(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		for i := range a {
+			if a[i].At != b[i].At || a[i].Rank != b[i].Rank {
+				t.Fatalf("%s arrival %d nondeterministic: %+v vs %+v", mode, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestOnOffTraceShape pins the ON/OFF structure: every arrival lands in
+// an ON window, the mean rate stays near the requested one, and within-ON
+// arrivals run at the elevated peak rate.
+func TestOnOffTraceShape(t *testing.T) {
+	pool, err := QueryPool(4, 3, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := 50*time.Millisecond, 150*time.Millisecond
+	tr, err := ZipfTrace(TraceOptions{
+		Pool: pool, Rate: 4000, N: 4000, Seed: 3,
+		Arrival: ArrivalOnOff, OnDur: on, OffDur: off,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := on + off
+	var prev time.Duration
+	for i, a := range tr {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v before predecessor %v", i, a.At, prev)
+		}
+		prev = a.At
+		if pos := a.At % cycle; pos >= on {
+			t.Fatalf("arrival %d at %v falls %v into the cycle — inside the OFF window [%v,%v)",
+				i, a.At, pos, on, cycle)
+		}
+	}
+	// Mean rate over the whole trace ≈ Rate (generous 3× tolerance).
+	mean := float64(tr[len(tr)-1].At) / float64(len(tr)-1)
+	want := float64(time.Second) / 4000
+	if mean < want/3 || mean > want*3 {
+		t.Fatalf("mean inter-arrival %v implausible for mean rate 4000 (want ≈ %v)",
+			time.Duration(mean), time.Duration(want))
+	}
+}
+
+// TestGammaTraceShape pins that the gamma mode keeps the requested mean
+// rate and, at shape < 1, is burstier than Poisson (higher gap variance).
+func TestGammaTraceShape(t *testing.T) {
+	pool, err := QueryPool(4, 3, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := func(arrival string, shape float64) []float64 {
+		tr, err := ZipfTrace(TraceOptions{
+			Pool: pool, Rate: 10000, N: 6000, Seed: 5,
+			Arrival: arrival, GammaShape: shape,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		out := make([]float64, len(tr)-1)
+		for i := 1; i < len(tr); i++ {
+			out[i-1] = float64(tr[i].At - tr[i-1].At)
+		}
+		return out
+	}
+	stats := func(xs []float64) (mean, variance float64) {
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		return mean, variance / float64(len(xs))
+	}
+	gMean, gVar := stats(gaps(ArrivalGamma, 0.25))
+	eMean, eVar := stats(gaps(ArrivalExp, 0))
+	want := float64(time.Second) / 10000
+	if gMean < want/3 || gMean > want*3 {
+		t.Fatalf("gamma mean gap %v implausible for rate 10000 (want ≈ %v)",
+			time.Duration(gMean), time.Duration(want))
+	}
+	// Squared coefficient of variation: shape 0.25 should have ~4× the
+	// relative variance of exponential; require a clear 2× margin.
+	gCV, eCV := gVar/(gMean*gMean), eVar/(eMean*eMean)
+	if gCV < 2*eCV {
+		t.Fatalf("gamma(0.25) CV² %.2f not burstier than exponential CV² %.2f", gCV, eCV)
+	}
+}
+
+func TestBurstyTraceRejectsBadOptions(t *testing.T) {
+	pool, _ := QueryPool(2, 2, 4, 1)
+	for name, opt := range map[string]TraceOptions{
+		"unknown mode":         {Pool: pool, N: 10, Rate: 100, Arrival: "square"},
+		"onoff in saturation":  {Pool: pool, N: 10, Arrival: ArrivalOnOff},
+		"gamma in saturation":  {Pool: pool, N: 10, Arrival: ArrivalGamma},
+		"gamma shape too high": {Pool: pool, N: 10, Rate: 100, Arrival: ArrivalGamma, GammaShape: 65},
+	} {
+		if _, err := ZipfTrace(opt); err == nil {
+			t.Fatalf("%s: ZipfTrace accepted invalid options", name)
+		}
+	}
+}
+
+// FuzzBurstyTrace extends the trace contract to the bursty arrival
+// modes: any finite options either error fast or yield a deterministic,
+// nondecreasing, in-pool trace — and ON/OFF arrivals never land in an
+// OFF window.
+func FuzzBurstyTrace(f *testing.F) {
+	f.Add(1, 200, int64(1), 500.0, int64(50), int64(150), 0.5)
+	f.Add(2, 64, int64(9), 2000.0, int64(0), int64(0), 0.25)
+	f.Add(1, 16, int64(3), -1.0, int64(-5), int64(7), 64.0)
+	f.Fuzz(func(t *testing.T, modeSel, n int, seed int64, rate float64, onMs, offMs int64, shape float64) {
+		if n > 512 {
+			t.Skip()
+		}
+		mode := ArrivalOnOff
+		if modeSel%2 == 0 {
+			mode = ArrivalGamma
+		}
+		pool, err := QueryPool(3, 3, 16, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := TraceOptions{
+			Pool: pool, Rate: rate, N: n, Seed: seed, Arrival: mode,
+			OnDur: time.Duration(onMs) * time.Millisecond, OffDur: time.Duration(offMs) * time.Millisecond,
+			GammaShape: shape,
+		}
+		tr, err := ZipfTrace(opt)
+		if err != nil {
+			return // invalid options must error, never panic
+		}
+		if len(tr) != n {
+			t.Fatalf("trace has %d arrivals, want %d", len(tr), n)
+		}
+		onDur, offDur := opt.OnDur, opt.OffDur
+		if onDur <= 0 {
+			onDur = DefaultOnDur
+		}
+		if offDur <= 0 {
+			offDur = DefaultOffDur
+		}
+		var prev time.Duration
+		for i, a := range tr {
+			if a.At < prev {
+				t.Fatalf("arrival %d time %v < predecessor %v", i, a.At, prev)
+			}
+			prev = a.At
+			if a.Rank < 0 || a.Rank >= len(pool) {
+				t.Fatalf("arrival %d rank %d outside pool of %d", i, a.Rank, len(pool))
+			}
+			if mode == ArrivalOnOff && a.At%(onDur+offDur) >= onDur {
+				t.Fatalf("arrival %d at %v inside the OFF window", i, a.At)
+			}
+		}
+		again, err := ZipfTrace(opt)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		for i := range tr {
+			if tr[i].At != again[i].At || tr[i].Rank != again[i].Rank {
+				t.Fatalf("arrival %d nondeterministic: %+v vs %+v", i, tr[i], again[i])
+			}
+		}
+	})
+}
+
 // FuzzZipfTrace pins the trace generator's contract over arbitrary
 // parameters: generation either fails fast with an error or yields
 // exactly n arrivals with nondecreasing times, in-pool ranks, and

@@ -50,6 +50,11 @@ type BatchOptions struct {
 	// selects the default). Ignored when the batch shares the
 	// estimator's cache.
 	CacheShards int
+	// Policy is the per-call degradation policy applied to every query
+	// of the batch (see ExecPolicy); the zero value imposes nothing. A
+	// brownout-degraded entry carries a nil Err with
+	// ExecStats.DegradedBy = ErrBrownout, like any degraded answer.
+	Policy ExecPolicy
 }
 
 // CacheStats reports a segment-relation cache's counters: cumulative
@@ -227,7 +232,7 @@ func (e *Estimator) ExecuteExprBatchCtx(ctx context.Context, exprs []*Expr, opt 
 			qctx, qcancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
 		}
 		canc, release := newQueryCanceller(qctx)
-		st, err := e.executeExpr(g, exprs[i], cache, queryWorkers, canc)
+		st, err := e.executeExpr(g, exprs[i], cache, queryWorkers, canc, opt.Policy)
 		release()
 		qcancel()
 		res.Results[i] = BatchQueryResult{Query: Query(exprs[i].pattern), ExecStats: st, Err: err}

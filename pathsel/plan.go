@@ -177,11 +177,41 @@ func (e *Estimator) ExecuteQuery(q string) (ExecStats, error) {
 // call is a compile-per-call wrapper over Compile + Expr.ExecuteCtx, so
 // repeated queries should compile once and execute the handle.
 func (e *Estimator) ExecuteQueryCtx(ctx context.Context, q string) (ExecStats, error) {
+	return e.ExecuteQueryCtxPolicy(ctx, q, ExecPolicy{})
+}
+
+// ExecuteQueryCtxPolicy is ExecuteQueryCtx under a per-call degradation
+// policy (see ExecPolicy): the compile-per-call wrapper over Compile +
+// Expr.ExecuteCtxPolicy. The zero policy makes it exactly
+// ExecuteQueryCtx.
+func (e *Estimator) ExecuteQueryCtxPolicy(ctx context.Context, q string, pol ExecPolicy) (ExecStats, error) {
 	x, err := e.Compile(q)
 	if err != nil {
 		return ExecStats{}, err
 	}
-	return x.ExecuteCtx(ctx)
+	return x.ExecuteCtxPolicy(ctx, pol)
+}
+
+// ExecPolicy is a per-call degradation policy, layered on top of the
+// estimator-wide Config knobs by callers whose willingness to pay for
+// exact answers varies request to request — a serving tier under load
+// pressure (brownout) is the intended client. The zero value imposes
+// nothing.
+type ExecPolicy struct {
+	// DegradeCostAbove, when > 0, degrades any query whose chosen plan's
+	// EstimatedCost exceeds it: the call answers the rounded histogram
+	// estimate before any graph access, marked Degraded with DegradedBy
+	// = ErrBrownout. Unlike Config.DegradeToEstimate this does not
+	// require a resource-policy kill and is independent of that flag —
+	// the caller opted into estimate answers for expensive queries on
+	// this call specifically.
+	DegradeCostAbove float64
+}
+
+// degrades reports whether the policy degrades a plan of the given
+// estimated cost.
+func (pol ExecPolicy) degrades(plan QueryPlan) bool {
+	return pol.DegradeCostAbove > 0 && plan.EstimatedCost > pol.DegradeCostAbove
 }
 
 // admissionBytesPerPair prices one projected vertex pair for the
@@ -232,6 +262,14 @@ func (e *Estimator) degrade(plan QueryPlan, est float64, cause error) (ExecStats
 	if !e.cfg.DegradeToEstimate || !degradable(cause) {
 		return ExecStats{Plan: plan}, cause
 	}
+	return degradeTo(plan, est, cause)
+}
+
+// degradeTo builds a degraded answer unconditionally: the rounded
+// estimate, marked with the typed cause. Shared by Config-driven
+// degradation (degrade) and policy-driven brownout, which bypasses the
+// Config gate.
+func degradeTo(plan QueryPlan, est float64, cause error) (ExecStats, error) {
 	r := int64(math.Round(est))
 	if r < 0 {
 		r = 0
@@ -243,12 +281,17 @@ func (e *Estimator) degrade(plan QueryPlan, est float64, cause error) (ExecStats
 // (possibly nil) segment cache — the shared core of ExecuteQueryCtx and
 // ExecuteBatchCtx. g is passed pre-frozen so concurrent batch workers
 // never race on the lazy CSR freeze; canc carries the caller's
-// cancellation signal into every kernel. The result relation is drawn
-// from (and immediately returned to) the estimator's pool — only its
-// counters survive into ExecStats.
-func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int, canc *exec.Canceller) (ExecStats, error) {
+// cancellation signal into every kernel; pol is the caller's per-call
+// degradation policy, checked before the admission gate so a brownout
+// degrade costs one plan, never a graph access. The result relation is
+// drawn from (and immediately returned to) the estimator's pool — only
+// its counters survive into ExecStats.
+func (e *Estimator) executeParsed(g *graph.CSR, p paths.Path, cache *relcache.Cache, workers int, canc *exec.Canceller, pol ExecPolicy) (ExecStats, error) {
 	plan := e.planParsed(p, cache)
 	est := e.ph.Estimate(p)
+	if pol.degrades(plan) {
+		return degradeTo(plan, est, ErrBrownout)
+	}
 	if err := e.admit(plan, est); err != nil {
 		return e.degrade(plan, est, err)
 	}

@@ -271,6 +271,15 @@ func (x *Expr) Execute() (ExecStats, error) {
 // vertex pairs connected by a path matching the pattern (set
 // semantics; a concrete path degenerates to its selectivity).
 func (x *Expr) ExecuteCtx(ctx context.Context) (ExecStats, error) {
+	return x.ExecuteCtxPolicy(ctx, ExecPolicy{})
+}
+
+// ExecuteCtxPolicy is ExecuteCtx under a per-call degradation policy:
+// when pol.DegradeCostAbove is set and the (cache-aware, per-call) plan
+// costs more, the call answers the rounded histogram estimate — marked
+// Degraded with DegradedBy = ErrBrownout — without touching the graph.
+// The zero policy makes it exactly ExecuteCtx.
+func (x *Expr) ExecuteCtxPolicy(ctx context.Context, pol ExecPolicy) (ExecStats, error) {
 	e := x.est
 	if ctx == nil {
 		ctx = context.Background()
@@ -282,7 +291,7 @@ func (x *Expr) ExecuteCtx(ctx context.Context) (ExecStats, error) {
 	}
 	canc, release := newQueryCanceller(ctx)
 	defer release()
-	return e.executeExpr(e.gr.csr(), x, e.cache, e.cfg.Workers, canc)
+	return e.executeExpr(e.gr.csr(), x, e.cache, e.cfg.Workers, canc, pol)
 }
 
 // executeExpr executes one compiled query against the given cache — the
@@ -290,12 +299,15 @@ func (x *Expr) ExecuteCtx(ctx context.Context) (ExecStats, error) {
 // executeParsed. Concrete paths take the existing plan machinery
 // unchanged; DAGs are replanned cache-aware per call and folded by
 // exec.ExecuteDagChecked.
-func (e *Estimator) executeExpr(g *graph.CSR, x *Expr, cache *relcache.Cache, workers int, canc *exec.Canceller) (ExecStats, error) {
+func (e *Estimator) executeExpr(g *graph.CSR, x *Expr, cache *relcache.Cache, workers int, canc *exec.Canceller, pol ExecPolicy) (ExecStats, error) {
 	if x.path != nil {
-		return e.executeParsed(g, x.path, cache, workers, canc)
+		return e.executeParsed(g, x.path, cache, workers, canc, pol)
 	}
 	dp := e.planner(cache).PlanDag(x.dag, g.NumVertices(), e.cfg.BushyPlans)
 	qp := QueryPlan{Start: -1, Description: "rpq " + dp.Describe(), EstimatedCost: dp.Cost}
+	if pol.degrades(qp) {
+		return degradeTo(qp, x.estimate, ErrBrownout)
+	}
 	if err := e.admit(qp, x.estimate); err != nil {
 		return e.degrade(qp, x.estimate, err)
 	}
